@@ -1,0 +1,56 @@
+// Command figures regenerates every table and figure of the paper
+// "SPEChpc 2021 Benchmarks on Ice Lake and Sapphire Rapids Infiniband
+// Clusters: A Performance and Energy Case Study" from the simulated
+// clusters, writing ASCII renderings to stdout and CSV series to -out.
+//
+// Usage:
+//
+//	figures [-only fig1,fig5] [-out out] [-quick] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/spechpc/spechpc-sim/internal/figures"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	out := flag.String("out", "out", "directory for CSV artifacts (empty = none)")
+	quick := flag.Bool("quick", false, "reduced sweep resolution")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	all := figures.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	ctx := figures.NewContext(*out, *quick)
+	for _, e := range all {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		if err := e.Run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s done in %.1fs\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

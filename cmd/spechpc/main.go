@@ -1,0 +1,125 @@
+// Command spechpc runs a single simulated SPEChpc 2021 benchmark on one
+// of the paper's clusters and reports SPEC-style verified results:
+// runtime, performance, bandwidth, power, energy, and the MPI share.
+//
+// Usage:
+//
+//	spechpc -list
+//	spechpc -bench tealeaf -cluster A -ranks 72 [-class tiny] [-steps 8] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/report"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+	"github.com/spechpc/spechpc-sim/internal/trace"
+	"github.com/spechpc/spechpc-sim/internal/units"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	name := flag.String("bench", "", "benchmark name (see -list)")
+	clusterFlag := flag.String("cluster", "A", "cluster: A (Ice Lake) or B (Sapphire Rapids)")
+	ranks := flag.Int("ranks", 0, "MPI ranks (default: one ccNUMA domain)")
+	classFlag := flag.String("class", "tiny", "workload class: tiny or small")
+	steps := flag.Int("steps", 0, "simulated steps (0 = kernel default)")
+	doTrace := flag.Bool("trace", false, "print the per-state time breakdown")
+	flag.Parse()
+
+	if *list {
+		t := report.NewTable("SPEChpc 2021 benchmarks (simulated)",
+			"ID", "Name", "Language", "LOC", "Collective", "Memory-bound", "Numerics")
+		for _, b := range bench.All() {
+			mb := ""
+			if b.MemoryBound {
+				mb = "yes"
+			}
+			t.AddRow(fmt.Sprintf("%02d", b.ID), b.Name, b.Language,
+				fmt.Sprintf("%d", b.LOC), b.Collective, mb, b.Numerics)
+		}
+		if err := t.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *name == "" {
+		fatal(fmt.Errorf("missing -bench (try -list)"))
+	}
+
+	var cluster *machine.ClusterSpec
+	switch *clusterFlag {
+	case "A", "a":
+		cluster = machine.ClusterA()
+	case "B", "b":
+		cluster = machine.ClusterB()
+	default:
+		fatal(fmt.Errorf("unknown cluster %q (want A or B)", *clusterFlag))
+	}
+	class := bench.Tiny
+	if *classFlag == "small" {
+		class = bench.Small
+	}
+	n := *ranks
+	if n <= 0 {
+		n = cluster.CPU.CoresPerDomain()
+	}
+
+	res, err := spec.Run(spec.RunSpec{
+		Benchmark: *name,
+		Class:     class,
+		Cluster:   cluster,
+		Ranks:     n,
+		Options:   bench.Options{SimSteps: *steps},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	u := res.Usage
+	t := report.NewTable(
+		fmt.Sprintf("%s / %s on %s, %d ranks (%d nodes)",
+			*name, class, cluster.Name, u.Ranks, u.Nodes),
+		"metric", "value")
+	t.AddRow("verified", "yes (all checks passed)")
+	t.AddRow("wall time (full workload)", units.Seconds(u.Wall))
+	t.AddRow("performance", units.FlopRate(u.PerfFlops()))
+	t.AddRow("AVX-DP performance", units.FlopRate(u.PerfFlopsSIMD()))
+	t.AddRow("vectorization ratio", fmt.Sprintf("%.1f%%", 100*u.SIMDRatio()))
+	t.AddRow("memory bandwidth", units.Bandwidth(u.MemBandwidth()))
+	t.AddRow("memory data volume", units.BytesDecimal(u.BytesMem))
+	t.AddRow("chip power", units.Power(u.ChipPower()))
+	t.AddRow("DRAM power", units.Power(u.DRAMPower()))
+	t.AddRow("total energy", units.Energy(u.TotalEnergy()))
+	t.AddRow("energy-delay product", fmt.Sprintf("%.3g Js", u.EDP()))
+	t.AddRow("MPI time share", fmt.Sprintf("%.1f%%", 100*u.MPIFraction()))
+	for _, c := range res.Report.Checks {
+		t.AddRow("check: "+c.Name, fmt.Sprintf("%.3g (ok)", c.Value))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	if *doTrace {
+		tt := report.NewTable("Global time shares by state", "state", "share %")
+		for _, k := range trace.Kinds() {
+			f := res.Trace.GlobalFraction(k)
+			if f > 0.0005 {
+				tt.AddRow(k.String(), fmt.Sprintf("%.1f", 100*f))
+			}
+		}
+		if err := tt.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spechpc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,268 @@
+// Package analysis derives the paper's evaluation metrics from sweep
+// results: speedup and parallel efficiency with the ccNUMA-domain
+// baseline, Z-plots (energy vs speedup), energy/EDP minima, the four
+// multi-node scaling cases of Sect. 5.1, and fluctuation statistics for
+// the lbm/minisweep envelopes.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/spechpc/spechpc-sim/internal/spec"
+)
+
+// Point is one sweep sample reduced to the quantities the figures use.
+type Point struct {
+	Ranks float64
+	// Wall is the extrapolated wall time (s).
+	Wall float64
+	// Perf is flop/s; PerfSIMD the AVX-DP part.
+	Perf     float64
+	PerfSIMD float64
+	// MemBW is average memory bandwidth (B/s); BytesMem total volume (B).
+	MemBW    float64
+	BytesMem float64
+	// ChipPower/DRAMPower are average watts; ChipEnergy/DRAMEnergy joules.
+	ChipPower  float64
+	DRAMPower  float64
+	ChipEnergy float64
+	DRAMEnergy float64
+}
+
+// Points reduces sweep results to analysis points.
+func Points(results []spec.RunResult) []Point {
+	out := make([]Point, len(results))
+	for i, r := range results {
+		u := r.Usage
+		out[i] = Point{
+			Ranks:      float64(u.Ranks),
+			Wall:       u.Wall,
+			Perf:       u.PerfFlops(),
+			PerfSIMD:   u.PerfFlopsSIMD(),
+			MemBW:      u.MemBandwidth(),
+			BytesMem:   u.BytesMem,
+			ChipPower:  u.ChipPower(),
+			DRAMPower:  u.DRAMPower(),
+			ChipEnergy: u.ChipEnergy,
+			DRAMEnergy: u.DRAMEnergy,
+		}
+	}
+	return out
+}
+
+// Speedup returns wall-time speedups relative to the first point.
+func Speedup(pts []Point) []float64 {
+	out := make([]float64, len(pts))
+	if len(pts) == 0 {
+		return out
+	}
+	base := pts[0].Wall
+	for i, p := range pts {
+		out[i] = base / p.Wall
+	}
+	return out
+}
+
+// find returns the point with the given rank count, or nil.
+func find(pts []Point, ranks int) *Point {
+	for i := range pts {
+		if int(pts[i].Ranks) == ranks {
+			return &pts[i]
+		}
+	}
+	return nil
+}
+
+// DomainEfficiency computes the paper's Sect. 4.1.1 metric: speedup from
+// one ccNUMA domain to the full node, divided by the number of domains,
+// in percent. The sweep must contain both rank counts.
+func DomainEfficiency(pts []Point, coresPerDomain, coresPerNode int) (float64, error) {
+	dom := find(pts, coresPerDomain)
+	node := find(pts, coresPerNode)
+	if dom == nil || node == nil {
+		return 0, fmt.Errorf("analysis: sweep lacks domain (%d) or node (%d) points",
+			coresPerDomain, coresPerNode)
+	}
+	domains := float64(coresPerNode) / float64(coresPerDomain)
+	return 100 * (dom.Wall / node.Wall) / domains, nil
+}
+
+// ZPoint is one Z-plot sample: energy vs speedup with resources (ranks)
+// as the implicit parameter.
+type ZPoint struct {
+	Ranks   float64
+	Speedup float64
+	Energy  float64
+	EDP     float64
+}
+
+// ZPlot builds the Fig. 4 representation from a sweep (baseline = first
+// point).
+func ZPlot(pts []Point) []ZPoint {
+	sp := Speedup(pts)
+	out := make([]ZPoint, len(pts))
+	for i, p := range pts {
+		e := p.ChipEnergy + p.DRAMEnergy
+		out[i] = ZPoint{Ranks: p.Ranks, Speedup: sp[i], Energy: e, EDP: e * p.Wall}
+	}
+	return out
+}
+
+// MinEnergyPoint returns the index of the sweep point with minimal total
+// energy; MinEDPPoint likewise for the energy-delay product. The paper's
+// race-to-idle finding is that these nearly coincide on modern CPUs.
+func MinEnergyPoint(z []ZPoint) int {
+	best := 0
+	for i, p := range z {
+		if p.Energy < z[best].Energy {
+			best = i
+		}
+	}
+	return best
+}
+
+// MinEDPPoint returns the index with minimal EDP.
+func MinEDPPoint(z []ZPoint) int {
+	best := 0
+	for i, p := range z {
+		if p.EDP < z[best].EDP {
+			best = i
+		}
+	}
+	return best
+}
+
+// ScalingCase is the paper's Sect. 5.1.1 taxonomy.
+type ScalingCase int
+
+// The four cases plus the poor-scaling bucket.
+const (
+	// CaseA: cache effect prevails over communication -> superlinear.
+	CaseA ScalingCase = iota
+	// CaseB: cache effect and communication balance out -> linear.
+	CaseB
+	// CaseC: communication dominates over a present cache effect ->
+	// close-to-linear.
+	CaseC
+	// CaseD: no cache effect, only communication -> close-to-linear.
+	CaseD
+	// CasePoor: poor scaling (small data set + heavy communication).
+	CasePoor
+)
+
+// String names the case as the paper does.
+func (c ScalingCase) String() string {
+	switch c {
+	case CaseA:
+		return "A (super-linear: cache effect prevails)"
+	case CaseB:
+		return "B (linear: cache and communication balance)"
+	case CaseC:
+		return "C (close-to-linear: communication over cache effect)"
+	case CaseD:
+		return "D (close-to-linear: communication only)"
+	case CasePoor:
+		return "poor (communication + small data set)"
+	default:
+		return fmt.Sprintf("ScalingCase(%d)", int(c))
+	}
+}
+
+// Short returns the single-letter tag.
+func (c ScalingCase) Short() string {
+	return [...]string{"A", "B", "C", "D", "poor"}[int(c)]
+}
+
+// Classify assigns a multi-node sweep to one of the paper's cases using
+// the same two signals the paper uses: relative parallel efficiency at
+// the largest scale, and whether the aggregate memory volume falls with
+// rank count (the cache-effect signature).
+func Classify(pts []Point) ScalingCase {
+	if len(pts) < 2 {
+		return CaseB
+	}
+	sp := Speedup(pts)
+	last := len(pts) - 1
+	ideal := pts[last].Ranks / pts[0].Ranks
+	eff := sp[last] / ideal
+
+	// Cache effect: total memory volume at the largest scale measurably
+	// below the smallest-scale volume (the total work per step is
+	// identical, so any drop means cache capture).
+	cacheEffect := pts[last].BytesMem < pts[0].BytesMem*0.96
+
+	switch {
+	case eff >= 1.08:
+		return CaseA
+	case eff < 0.55:
+		return CasePoor
+	case eff >= 0.9 && cacheEffect:
+		// Linear with a visible cache effect: the two must balance (B).
+		return CaseB
+	case cacheEffect:
+		return CaseC
+	default:
+		// No cache effect: communication alone sets the deviation (D).
+		return CaseD
+	}
+}
+
+// Fluctuation quantifies the jitter of a node-level speedup curve: the
+// mean relative deviation from its monotone upper envelope. Codes like
+// lbm and minisweep show large values; smooth scalers near zero.
+func Fluctuation(pts []Point) float64 {
+	sp := Speedup(pts)
+	if len(sp) < 3 {
+		return 0
+	}
+	envelope := make([]float64, len(sp))
+	peak := 0.0
+	for i, s := range sp {
+		if s > peak {
+			peak = s
+		}
+		envelope[i] = peak
+	}
+	var dev float64
+	for i := range sp {
+		if envelope[i] > 0 {
+			dev += (envelope[i] - sp[i]) / envelope[i]
+		}
+	}
+	return dev / float64(len(sp))
+}
+
+// AccelerationFactor computes the paper's Sect. 4.1.2 node ratio: wall
+// time on cluster A's node over wall time on cluster B's node for the
+// same workload.
+func AccelerationFactor(wallA, wallB float64) float64 {
+	if wallB == 0 {
+		return math.Inf(1)
+	}
+	return wallA / wallB
+}
+
+// BaselinePowerExtrapolation performs the paper's zero-core chip-power
+// extrapolation (Fig. 3a/3c dotted lines): a least-squares linear fit of
+// socket power vs active cores over the first few points, evaluated at
+// zero cores.
+func BaselinePowerExtrapolation(activeCores, socketPower []float64) float64 {
+	n := len(activeCores)
+	if n == 0 || n != len(socketPower) {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		sx += activeCores[i]
+		sy += socketPower[i]
+		sxx += activeCores[i] * activeCores[i]
+		sxy += activeCores[i] * socketPower[i]
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return sy / float64(n)
+	}
+	slope := (float64(n)*sxy - sx*sy) / den
+	return (sy - slope*sx) / float64(n)
+}

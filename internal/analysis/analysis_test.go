@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func linearPoints(n int, base float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		r := float64(i + 1)
+		pts[i] = Point{Ranks: r, Wall: base / r, BytesMem: 1000}
+	}
+	return pts
+}
+
+func TestSpeedupLinear(t *testing.T) {
+	pts := linearPoints(8, 100)
+	sp := Speedup(pts)
+	for i, s := range sp {
+		want := float64(i + 1)
+		if math.Abs(s-want) > 1e-9 {
+			t.Fatalf("speedup[%d] = %v, want %v", i, s, want)
+		}
+	}
+}
+
+func TestDomainEfficiency(t *testing.T) {
+	// Domain (18 cores) wall 4s, node (72) wall 1s: perfect 4x over 4
+	// domains -> 100%.
+	pts := []Point{
+		{Ranks: 18, Wall: 4},
+		{Ranks: 72, Wall: 1},
+	}
+	eff, err := DomainEfficiency(pts, 18, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eff-100) > 1e-9 {
+		t.Fatalf("efficiency = %v, want 100", eff)
+	}
+	// Superlinear: node wall 0.8s -> 125%.
+	pts[1].Wall = 0.8
+	eff, _ = DomainEfficiency(pts, 18, 72)
+	if math.Abs(eff-125) > 1e-9 {
+		t.Fatalf("superlinear efficiency = %v, want 125", eff)
+	}
+}
+
+func TestDomainEfficiencyMissingPoint(t *testing.T) {
+	if _, err := DomainEfficiency(linearPoints(4, 10), 18, 72); err == nil {
+		t.Fatal("missing points not reported")
+	}
+}
+
+func TestZPlotAndMinima(t *testing.T) {
+	// Energy falls then rises; EDP minimum at or after the energy
+	// minimum in speedup order.
+	pts := []Point{
+		{Ranks: 1, Wall: 10, ChipEnergy: 1000, DRAMEnergy: 100},
+		{Ranks: 2, Wall: 5, ChipEnergy: 700, DRAMEnergy: 70},
+		{Ranks: 4, Wall: 2.6, ChipEnergy: 650, DRAMEnergy: 60},
+		{Ranks: 8, Wall: 1.5, ChipEnergy: 800, DRAMEnergy: 65},
+	}
+	z := ZPlot(pts)
+	if len(z) != 4 {
+		t.Fatal("zplot length")
+	}
+	if MinEnergyPoint(z) != 2 {
+		t.Fatalf("min energy at %d, want 2", MinEnergyPoint(z))
+	}
+	if MinEDPPoint(z) != 3 {
+		t.Fatalf("min EDP at %d, want 3", MinEDPPoint(z))
+	}
+}
+
+func TestClassifyCases(t *testing.T) {
+	mk := func(effLast float64, volumeDrop bool) []Point {
+		pts := make([]Point, 5)
+		for i := range pts {
+			r := math.Pow(2, float64(i))
+			// Wall shaped to land at the requested efficiency at the end.
+			eff := 1 + (effLast-1)*float64(i)/4
+			pts[i] = Point{Ranks: r, Wall: 100 / (r * eff), BytesMem: 1000}
+			if volumeDrop {
+				pts[i].BytesMem = 1000 * math.Pow(0.8, float64(i))
+			}
+		}
+		return pts
+	}
+	cases := []struct {
+		eff  float64
+		drop bool
+		want ScalingCase
+	}{
+		{1.3, true, CaseA},
+		{0.97, true, CaseB},
+		{0.75, true, CaseC},
+		{0.75, false, CaseD},
+		{0.3, false, CasePoor},
+	}
+	for _, c := range cases {
+		got := Classify(mk(c.eff, c.drop))
+		if got != c.want {
+			t.Errorf("eff=%v drop=%v -> %v, want %v", c.eff, c.drop, got, c.want)
+		}
+	}
+}
+
+func TestFluctuationDetectsJitter(t *testing.T) {
+	smooth := linearPoints(10, 100)
+	if f := Fluctuation(smooth); f > 0.01 {
+		t.Fatalf("smooth curve fluctuation = %v", f)
+	}
+	jitter := linearPoints(10, 100)
+	for i := range jitter {
+		if i%2 == 1 {
+			jitter[i].Wall *= 1.5 // alternating slow points
+		}
+	}
+	if f := Fluctuation(jitter); f < 0.05 {
+		t.Fatalf("jittery curve fluctuation = %v, want > 0.05", f)
+	}
+}
+
+func TestBaselineExtrapolation(t *testing.T) {
+	// Power = 98 + 4.2*cores: extrapolation must recover ~98.
+	var cores, power []float64
+	for c := 1.0; c <= 8; c++ {
+		cores = append(cores, c)
+		power = append(power, 98+4.2*c)
+	}
+	base := BaselinePowerExtrapolation(cores, power)
+	if math.Abs(base-98) > 1e-9 {
+		t.Fatalf("baseline = %v, want 98", base)
+	}
+}
+
+func TestBaselineExtrapolationProperty(t *testing.T) {
+	f := func(b0 uint8, slope uint8) bool {
+		base := 50 + float64(b0)
+		sl := float64(slope%40) / 10
+		var cores, power []float64
+		for c := 1.0; c <= 10; c++ {
+			cores = append(cores, c)
+			power = append(power, base+sl*c)
+		}
+		got := BaselinePowerExtrapolation(cores, power)
+		return math.Abs(got-base) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupEmpty(t *testing.T) {
+	if got := Speedup(nil); len(got) != 0 {
+		t.Fatal("empty speedup not empty")
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"math"
+
+	"github.com/spechpc/spechpc-sim/internal/machine"
+)
+
+// Split1D partitions n items over parts ranks in balanced blocks: the
+// first n%parts ranks receive one extra item. It returns the half-open
+// range [lo, hi) of part idx.
+func Split1D(n, parts, idx int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = idx*base + min(idx, rem)
+	hi = lo + base
+	if idx < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// SplitCeil1D partitions n items in the "naive" style many production
+// codes use: every rank except the last receives ceil(n/parts) items and
+// the last takes the remainder. The uneven tail tile this produces is the
+// seed of the lbm straggler model (Sect. 4.1.6).
+func SplitCeil1D(n, parts, idx int) (lo, hi int) {
+	chunk := (n + parts - 1) / parts
+	lo = idx * chunk
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}
+
+// Grid2D factorizes p into (px, py) with px <= py and the pair as close
+// to square as possible — the MPI_Dims_create convention. Prime rank
+// counts degenerate to (1, p) strips, which is what makes them
+// pathological for wavefront codes.
+func Grid2D(p int) (px, py int) {
+	px = 1
+	for f := int(math.Sqrt(float64(p))); f >= 1; f-- {
+		if p%f == 0 {
+			px = f
+			break
+		}
+	}
+	return px, p / px
+}
+
+// Grid2DDividing returns the factor pair (px, py) of p that divides
+// (nx, ny) most evenly, preferring exact divisibility of both dimensions
+// and near-square aspect. Sweep-style codes use this: when no factor pair
+// divides the grid, the returned decomposition is unbalanced and the
+// caller inherits the load imbalance.
+func Grid2DDividing(p, nx, ny int) (px, py int, exact bool) {
+	bestPx, bestPy := 1, p
+	bestScore := math.Inf(1)
+	for f := 1; f <= p; f++ {
+		if p%f != 0 {
+			continue
+		}
+		cx, cy := f, p/f
+		score := 0.0
+		if nx%cx != 0 {
+			score += 10
+		}
+		if ny%cy != 0 {
+			score += 10
+		}
+		// Prefer near-square tiles.
+		w := float64(nx) / float64(cx)
+		h := float64(ny) / float64(cy)
+		score += math.Abs(math.Log(w / h))
+		if score < bestScore {
+			bestScore = score
+			bestPx, bestPy = cx, cy
+		}
+	}
+	return bestPx, bestPy, bestScore < 10
+}
+
+// Grid3D factorizes p into (px, py, pz), px <= py <= pz, near-cubic.
+func Grid3D(p int) (px, py, pz int) {
+	best := [3]int{1, 1, p}
+	bestScore := math.Inf(1)
+	for a := 1; a*a*a <= p; a++ {
+		if p%a != 0 {
+			continue
+		}
+		q := p / a
+		for b := a; b*b <= q; b++ {
+			if q%b != 0 {
+				continue
+			}
+			c := q / b
+			score := float64(c - a)
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{a, b, c}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// RanksInDomain returns how many of the job's n ranks land in the same
+// ccNUMA domain as rank r under block mapping.
+func RanksInDomain(cs *machine.ClusterSpec, n, r int) int {
+	d := cs.Place(r).GlobalDomain
+	count := 0
+	cpd := cs.CPU.CoresPerDomain()
+	// Ranks in domain d are the contiguous block [d*cpd, (d+1)*cpd).
+	lo := d * cpd
+	hi := lo + cpd
+	if lo < 0 {
+		return 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi > lo {
+		count = hi - lo
+	}
+	return count
+}
+
+// CachePerRank returns the cache capacity (bytes) effectively available
+// to rank r: its private L2 plus its share of the domain's L3 slice given
+// how many ranks currently populate that domain.
+func CachePerRank(cs *machine.ClusterSpec, n, r int) float64 {
+	inDom := RanksInDomain(cs, n, r)
+	if inDom < 1 {
+		inDom = 1
+	}
+	return cs.CPU.L2PerCore + cs.CPU.L3PerDomain/float64(inDom)
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+	"github.com/spechpc/spechpc-sim/internal/units"
+)
+
+// Cart2D is a two-dimensional Cartesian process topology with non-periodic
+// boundaries, the layout the grid kernels (tealeaf, cloverleaf, weather,
+// lbm, pot3d surfaces) share.
+type Cart2D struct {
+	// PX, PY are the process grid dimensions; X, Y this rank's coordinates.
+	PX, PY int
+	X, Y   int
+	rank   *mpi.Rank
+}
+
+// NewCart2D builds the topology for rank r on a px x py grid in row-major
+// rank order (x fastest).
+func NewCart2D(r *mpi.Rank, px, py int) *Cart2D {
+	if px*py != r.Size() {
+		panic("bench: Cart2D dims do not cover job size")
+	}
+	return &Cart2D{PX: px, PY: py, X: r.ID() % px, Y: r.ID() / px, rank: r}
+}
+
+// Rank returns the MPI rank at grid coordinates (x, y), or -1 outside the
+// non-periodic boundary.
+func (c *Cart2D) Rank(x, y int) int {
+	if x < 0 || x >= c.PX || y < 0 || y >= c.PY {
+		return -1
+	}
+	return y*c.PX + x
+}
+
+// Neighbors returns the four neighbor ranks (west, east, south, north),
+// -1 at boundaries.
+func (c *Cart2D) Neighbors() (w, e, s, n int) {
+	return c.Rank(c.X-1, c.Y), c.Rank(c.X+1, c.Y), c.Rank(c.X, c.Y-1), c.Rank(c.X, c.Y+1)
+}
+
+// HaloSpec describes one halo exchange: real border payloads per
+// direction plus the paper-scale byte count per message.
+type HaloSpec struct {
+	// Tag is the base message tag (uses Tag..Tag+3).
+	Tag int
+	// West/East/South/North are the real border payloads to send in each
+	// direction (nil borders are sent as empty messages).
+	West, East, South, North []float64
+	// ModelBytesX is the paper-scale size of an east/west message,
+	// ModelBytesY of a north/south message.
+	ModelBytesX, ModelBytesY float64
+}
+
+// Halo are the received border payloads of an exchange.
+type Halo struct {
+	FromWest, FromEast, FromSouth, FromNorth []float64
+}
+
+// Exchange performs a deadlock-free 4-direction halo exchange with
+// Sendrecv in the X then Y dimension, the standard stencil-code pattern.
+// Payloads are packed by the caller before the call; kernels that need
+// corner-correct halos (diagonal stencils) should use ExchangeX followed
+// by ExchangeY, repacking the Y borders in between.
+func (c *Cart2D) Exchange(h HaloSpec) Halo {
+	out := c.ExchangeX(h.West, h.East, h.Tag, h.ModelBytesX)
+	y := c.ExchangeY(h.South, h.North, h.Tag+2, h.ModelBytesY)
+	out.FromSouth, out.FromNorth = y.FromSouth, y.FromNorth
+	return out
+}
+
+// ExchangeX exchanges only the west/east borders.
+func (c *Cart2D) ExchangeX(west, east []float64, tag int, modelBytes float64) Halo {
+	w, e, _, _ := c.Neighbors()
+	var out Halo
+	out.FromWest = c.shift(w, e, east, tag, modelBytes, false)
+	out.FromEast = c.shift(e, w, west, tag+1, modelBytes, true)
+	return out
+}
+
+// ExchangeY exchanges only the south/north borders.
+func (c *Cart2D) ExchangeY(south, north []float64, tag int, modelBytes float64) Halo {
+	_, _, s, n := c.Neighbors()
+	var out Halo
+	out.FromSouth = c.shift(s, n, north, tag, modelBytes, false)
+	out.FromNorth = c.shift(n, s, south, tag+1, modelBytes, true)
+	return out
+}
+
+// shift sends data toward dst and receives from src (either may be -1 at
+// a boundary). The reverse flag only distinguishes the two shift phases
+// for symmetry; behaviour is identical.
+func (c *Cart2D) shift(src, dst int, data []float64, tag int, modelBytes float64, reverse bool) []float64 {
+	_ = reverse
+	r := c.rank
+	switch {
+	case src < 0 && dst < 0:
+		return nil
+	case src < 0:
+		r.Send(dst, tag, data, modelBytes)
+		return nil
+	case dst < 0:
+		return r.Recv(src, tag).Data
+	default:
+		return r.Sendrecv(dst, tag, data, modelBytes, src, tag).Data
+	}
+}
+
+// DoubleBytes returns the byte size of n float64 values — a convenience
+// for model-byte computations (8 bytes each).
+func DoubleBytes(n int) float64 { return 8 * float64(n) }
+
+// MiB converts mebibytes to bytes; a readability helper for work models.
+func MiB(v float64) float64 { return v * units.MiB }

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+)
+
+func runCart(t *testing.T, n int, body func(r *mpi.Rank)) {
+	t.Helper()
+	_, err := mpi.Run(mpi.Config{Cluster: machine.ClusterA(), Ranks: n}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCart2DCoordinates(t *testing.T) {
+	runCart(t, 6, func(r *mpi.Rank) {
+		c := NewCart2D(r, 2, 3)
+		if c.Rank(c.X, c.Y) != r.ID() {
+			t.Errorf("rank %d: coords (%d,%d) round-trip failed", r.ID(), c.X, c.Y)
+		}
+		if c.Rank(-1, 0) != -1 || c.Rank(2, 0) != -1 || c.Rank(0, 3) != -1 {
+			t.Error("out-of-grid coordinates not -1")
+		}
+	})
+}
+
+func TestCart2DNeighborSymmetry(t *testing.T) {
+	runCart(t, 12, func(r *mpi.Rank) {
+		c := NewCart2D(r, 3, 4)
+		w, e, s, n := c.Neighbors()
+		// If I have an east neighbor, its west neighbor is me, etc.
+		check := func(nbr int, dx, dy int) {
+			if nbr < 0 {
+				return
+			}
+			o := &Cart2D{PX: 3, PY: 4, X: nbr % 3, Y: nbr / 3}
+			if back := o.Rank(o.X-dx, o.Y-dy); back != r.ID() {
+				t.Errorf("rank %d neighbor %d not symmetric (back=%d)", r.ID(), nbr, back)
+			}
+		}
+		check(e, 1, 0)
+		check(w, -1, 0)
+		check(n, 0, 1)
+		check(s, 0, -1)
+	})
+}
+
+func TestExchangeDeliversBorders(t *testing.T) {
+	// Each rank sends its id-stamped borders; received halos must carry
+	// the right neighbor's stamp, and boundary sides must be nil.
+	runCart(t, 9, func(r *mpi.Rank) {
+		c := NewCart2D(r, 3, 3)
+		stamp := func() []float64 { return []float64{float64(r.ID())} }
+		h := c.Exchange(HaloSpec{
+			Tag:  10,
+			West: stamp(), East: stamp(), South: stamp(), North: stamp(),
+			ModelBytesX: 8, ModelBytesY: 8,
+		})
+		w, e, s, n := c.Neighbors()
+		checkSide := func(got []float64, nbr int, side string) {
+			if nbr < 0 {
+				if got != nil {
+					t.Errorf("rank %d: %s halo at boundary not nil", r.ID(), side)
+				}
+				return
+			}
+			if got == nil || got[0] != float64(nbr) {
+				t.Errorf("rank %d: %s halo = %v, want [%d]", r.ID(), side, got, nbr)
+			}
+		}
+		checkSide(h.FromWest, w, "west")
+		checkSide(h.FromEast, e, "east")
+		checkSide(h.FromSouth, s, "south")
+		checkSide(h.FromNorth, n, "north")
+	})
+}
+
+func TestExchangeXThenYAllCounts(t *testing.T) {
+	// The staged exchange must complete without deadlock on strips,
+	// columns, and grids.
+	for _, n := range []int{1, 2, 3, 4, 6, 8} {
+		runCart(t, n, func(r *mpi.Rank) {
+			px, py := Grid2D(n)
+			c := NewCart2D(r, px, py)
+			hx := c.ExchangeX([]float64{1}, []float64{2}, 30, 8)
+			hy := c.ExchangeY([]float64{3}, []float64{4}, 34, 8)
+			_ = hx
+			_ = hy
+		})
+	}
+}
+
+func TestCart2DWrongDimsPanics(t *testing.T) {
+	runCart(t, 4, func(r *mpi.Rank) {
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched dims did not panic")
+			}
+		}()
+		NewCart2D(r, 3, 3) // 9 != 4
+	})
+}
+
+func TestDoubleBytes(t *testing.T) {
+	if DoubleBytes(10) != 80 {
+		t.Errorf("DoubleBytes(10) = %v", DoubleBytes(10))
+	}
+	if MiB(2) != 2*1024*1024 {
+		t.Errorf("MiB(2) = %v", MiB(2))
+	}
+}

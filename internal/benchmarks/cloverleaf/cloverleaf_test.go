@@ -1,0 +1,119 @@
+package cloverleaf
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+	"github.com/spechpc/spechpc-sim/internal/trace"
+	"github.com/spechpc/spechpc-sim/internal/units"
+)
+
+func runClover(t *testing.T, cs *machine.ClusterSpec, n, steps int) (mpi.Result, bench.RunReport) {
+	t.Helper()
+	var rep bench.RunReport
+	res, err := mpi.Run(mpi.Config{Cluster: cs, Ranks: n, Trace: trace.NewRecorder(n, false)},
+		func(r *mpi.Rank) {
+			rr, err := run(r, bench.Tiny, bench.Options{SimSteps: steps})
+			if err != nil {
+				t.Error(err)
+			}
+			if r.ID() == 0 {
+				rep = rr
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rep
+}
+
+func TestRegistered(t *testing.T) {
+	b, err := bench.Get("cloverleaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != 19 || !b.MemoryBound || b.VectorPct != 100 {
+		t.Fatalf("cloverleaf metadata wrong: %+v", b)
+	}
+}
+
+func TestConservationAcrossDecompositions(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 9} {
+		_, rep := runClover(t, machine.ClusterA(), n, 4)
+		if !rep.Valid() {
+			t.Fatalf("n=%d: %+v", n, rep.Checks)
+		}
+	}
+}
+
+func TestShockPropagates(t *testing.T) {
+	// The energetic quadrant must set the gas in motion: kinetic energy
+	// appears after a few steps.
+	var kinetic float64
+	_, err := mpi.Run(mpi.Config{Cluster: machine.ClusterA(), Ranks: 1}, func(r *mpi.Rank) {
+		hy := newHydro(32, 32, bench.NewCart2D(r, 1, 1))
+		for s := 0; s < 8; s++ {
+			hy.step(r, 8, 8)
+		}
+		for j := 0; j < hy.h; j++ {
+			for i := 0; i < hy.w; i++ {
+				id := hy.idx(i, j)
+				rho := hy.q[qRho][id]
+				kinetic += (hy.q[qMx][id]*hy.q[qMx][id] + hy.q[qMy][id]*hy.q[qMy][id]) / (2 * rho)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinetic <= 0 {
+		t.Fatal("no kinetic energy developed; shock did not propagate")
+	}
+}
+
+func TestFullyVectorized(t *testing.T) {
+	res, _ := runClover(t, machine.ClusterA(), 4, 3)
+	if r := res.Usage.SIMDRatio(); r < 0.999 {
+		t.Fatalf("SIMD ratio = %v, want 1.0 (paper: 100%%)", r)
+	}
+}
+
+func TestMemoryBandwidthSaturation(t *testing.T) {
+	res, _ := runClover(t, machine.ClusterA(), 18, 3)
+	if bw := res.Usage.MemBandwidth(); bw < 70*units.G {
+		t.Fatalf("domain bandwidth = %s, want near 76.5 GB/s", units.Bandwidth(bw))
+	}
+}
+
+func TestNodePerformanceCalibration(t *testing.T) {
+	// Paper Sect. 5.1.3: cloverleaf single-node baseline ~160 Gflop/s on
+	// ClusterA, ~250 on ClusterB (ratio 1.57 in the acceleration table).
+	resA, _ := runClover(t, machine.ClusterA(), 72, 3)
+	gfA := resA.Usage.PerfFlops() / 1e9
+	if gfA < 110 || gfA > 210 {
+		t.Fatalf("ClusterA node = %.0f Gflop/s, want ~160", gfA)
+	}
+	resB, _ := runClover(t, machine.ClusterB(), 104, 3)
+	ratio := resB.Usage.PerfFlops() / resA.Usage.PerfFlops()
+	if ratio < 1.35 || ratio > 1.8 {
+		t.Fatalf("B/A = %.2f, want ~1.57", ratio)
+	}
+}
+
+func TestTimestepPositive(t *testing.T) {
+	_, err := mpi.Run(mpi.Config{Cluster: machine.ClusterA(), Ranks: 2}, func(r *mpi.Rank) {
+		hy := newHydro(16, 16, bench.NewCart2D(r, 1, 2))
+		for s := 0; s < 5; s++ {
+			hy.step(r, 8, 8)
+		}
+		if hy.minDensity() <= 0 || math.IsNaN(hy.minDensity()) {
+			t.Errorf("rank %d density degenerate: %v", r.ID(), hy.minDensity())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package cloverleaf
+
+import (
+	"math"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+)
+
+// Conserved variable indices.
+const (
+	qRho = iota // density
+	qMx         // x momentum
+	qMy         // y momentum
+	qE          // total energy density
+	nq
+)
+
+const gamma = 1.4
+
+// hydro is a real conservative finite-volume solver for the 2D Euler
+// equations with Rusanov fluxes and reflective walls. Face fluxes are
+// computed identically on both sides of rank boundaries (from halo data),
+// so mass and energy are conserved exactly across the whole job.
+type hydro struct {
+	w, h   int
+	cart   *bench.Cart2D
+	q      [nq][]float64 // ghost ring included
+	qn     [nq][]float64
+	dx, dy float64
+}
+
+func newHydro(w, h int, cart *bench.Cart2D) *hydro {
+	hy := &hydro{w: w, h: h, cart: cart, dx: 1, dy: 1}
+	n := (w + 2) * (h + 2)
+	for k := 0; k < nq; k++ {
+		hy.q[k] = make([]float64, n)
+		hy.qn[k] = make([]float64, n)
+	}
+	// Two ideal-gas states as in Table 1: ambient (rho=0.2, e=1) with a
+	// dense energetic region (rho=1, e=2.5) in the lower-left quadrant of
+	// the global domain.
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			gx := (float64(cart.X) + (float64(i)+0.5)/float64(w)) / float64(cart.PX)
+			gy := (float64(cart.Y) + (float64(j)+0.5)/float64(h)) / float64(cart.PY)
+			rho, e := 0.2, 1.0
+			if gx < 0.25 && gy < 0.25 {
+				rho, e = 1.0, 2.5
+			}
+			id := hy.idx(i, j)
+			hy.q[qRho][id] = rho
+			hy.q[qE][id] = rho * e // at rest: E = rho * e
+		}
+	}
+	return hy
+}
+
+func (hy *hydro) idx(i, j int) int { return (j+1)*(hy.w+2) + (i + 1) }
+
+// pressure returns the ideal-gas pressure of the conserved state at id.
+func (hy *hydro) pressure(id int) float64 {
+	rho := hy.q[qRho][id]
+	u := hy.q[qMx][id] / rho
+	v := hy.q[qMy][id] / rho
+	return (gamma - 1) * (hy.q[qE][id] - 0.5*rho*(u*u+v*v))
+}
+
+// soundSpeed returns the local speed of sound.
+func (hy *hydro) soundSpeed(id int) float64 {
+	return math.Sqrt(gamma * math.Max(hy.pressure(id), 1e-12) / hy.q[qRho][id])
+}
+
+// exchange refreshes ghost cells for all conserved fields; reflective
+// walls mirror the edge cell with the normal momentum negated.
+func (hy *hydro) exchange(r *mpi.Rank, modelX, modelY float64) {
+	pack := func(i0, j0, count, di, dj int) []float64 {
+		out := make([]float64, 0, nq*count)
+		for k := 0; k < count; k++ {
+			id := hy.idx(i0+k*di, j0+k*dj)
+			for f := 0; f < nq; f++ {
+				out = append(out, hy.q[f][id])
+			}
+		}
+		return out
+	}
+	unpack := func(data []float64, i0, j0, di, dj int) {
+		for k := 0; k*nq+nq-1 < len(data); k++ {
+			id := hy.idx(i0+k*di, j0+k*dj)
+			for f := 0; f < nq; f++ {
+				hy.q[f][id] = data[k*nq+f]
+			}
+		}
+	}
+	halo := hy.cart.Exchange(bench.HaloSpec{
+		Tag:         60,
+		West:        pack(0, 0, hy.h, 0, 1),
+		East:        pack(hy.w-1, 0, hy.h, 0, 1),
+		South:       pack(0, 0, hy.w, 1, 0),
+		North:       pack(0, hy.h-1, hy.w, 1, 0),
+		ModelBytesX: modelX,
+		ModelBytesY: modelY,
+	})
+	if halo.FromWest != nil {
+		unpack(halo.FromWest, -1, 0, 0, 1)
+	} else {
+		hy.mirrorColumn(0, -1, qMx)
+	}
+	if halo.FromEast != nil {
+		unpack(halo.FromEast, hy.w, 0, 0, 1)
+	} else {
+		hy.mirrorColumn(hy.w-1, hy.w, qMx)
+	}
+	if halo.FromSouth != nil {
+		unpack(halo.FromSouth, 0, -1, 1, 0)
+	} else {
+		hy.mirrorRow(0, -1, qMy)
+	}
+	if halo.FromNorth != nil {
+		unpack(halo.FromNorth, 0, hy.h, 1, 0)
+	} else {
+		hy.mirrorRow(hy.h-1, hy.h, qMy)
+	}
+}
+
+func (hy *hydro) mirrorColumn(edgeX, ghostX, flipField int) {
+	for j := 0; j < hy.h; j++ {
+		src, dst := hy.idx(edgeX, j), hy.idx(ghostX, j)
+		for f := 0; f < nq; f++ {
+			v := hy.q[f][src]
+			if f == flipField {
+				v = -v
+			}
+			hy.q[f][dst] = v
+		}
+	}
+}
+
+func (hy *hydro) mirrorRow(edgeY, ghostY, flipField int) {
+	for i := 0; i < hy.w; i++ {
+		src, dst := hy.idx(i, edgeY), hy.idx(i, ghostY)
+		for f := 0; f < nq; f++ {
+			v := hy.q[f][src]
+			if f == flipField {
+				v = -v
+			}
+			hy.q[f][dst] = v
+		}
+	}
+}
+
+// flux computes the Rusanov numerical flux between cells l and r along
+// axis (0 = x, 1 = y), writing the nq components into out.
+func (hy *hydro) flux(l, r int, axis int, out *[nq]float64) {
+	var fl, fr [nq]float64
+	hy.physFlux(l, axis, &fl)
+	hy.physFlux(r, axis, &fr)
+	mom := qMx + axis
+	ul := hy.q[mom][l] / hy.q[qRho][l]
+	ur := hy.q[mom][r] / hy.q[qRho][r]
+	smax := math.Max(math.Abs(ul)+hy.soundSpeed(l), math.Abs(ur)+hy.soundSpeed(r))
+	for f := 0; f < nq; f++ {
+		out[f] = 0.5*(fl[f]+fr[f]) - 0.5*smax*(hy.q[f][r]-hy.q[f][l])
+	}
+}
+
+// physFlux evaluates the physical Euler flux of the cell state.
+func (hy *hydro) physFlux(id, axis int, out *[nq]float64) {
+	rho := hy.q[qRho][id]
+	u := hy.q[qMx][id] / rho
+	v := hy.q[qMy][id] / rho
+	p := hy.pressure(id)
+	e := hy.q[qE][id]
+	if axis == 0 {
+		out[qRho] = rho * u
+		out[qMx] = rho*u*u + p
+		out[qMy] = rho * u * v
+		out[qE] = u * (e + p)
+	} else {
+		out[qRho] = rho * v
+		out[qMx] = rho * u * v
+		out[qMy] = rho*v*v + p
+		out[qE] = v * (e + p)
+	}
+}
+
+// step advances one explicit hydro cycle: ghost refresh, global CFL
+// timestep (MPI_Allreduce MIN), and a conservative flux update.
+func (hy *hydro) step(r *mpi.Rank, modelX, modelY float64) {
+	hy.exchange(r, modelX, modelY)
+
+	// Local CFL limit, then the global reduction the benchmark performs.
+	local := math.Inf(1)
+	for j := 0; j < hy.h; j++ {
+		for i := 0; i < hy.w; i++ {
+			id := hy.idx(i, j)
+			rho := hy.q[qRho][id]
+			u := math.Abs(hy.q[qMx][id] / rho)
+			v := math.Abs(hy.q[qMy][id] / rho)
+			c := hy.soundSpeed(id)
+			local = math.Min(local, math.Min(hy.dx/(u+c), hy.dy/(v+c)))
+		}
+	}
+	dt := 0.3 * r.Allreduce([]float64{local}, 8, mpi.OpMin)[0]
+
+	var fw, fe, fs, fn [nq]float64
+	for j := 0; j < hy.h; j++ {
+		for i := 0; i < hy.w; i++ {
+			id := hy.idx(i, j)
+			hy.flux(hy.idx(i-1, j), id, 0, &fw)
+			hy.flux(id, hy.idx(i+1, j), 0, &fe)
+			hy.flux(hy.idx(i, j-1), id, 1, &fs)
+			hy.flux(id, hy.idx(i, j+1), 1, &fn)
+			for f := 0; f < nq; f++ {
+				hy.qn[f][id] = hy.q[f][id] -
+					dt/hy.dx*(fe[f]-fw[f]) -
+					dt/hy.dy*(fn[f]-fs[f])
+			}
+		}
+	}
+	for f := 0; f < nq; f++ {
+		hy.q[f], hy.qn[f] = hy.qn[f], hy.q[f]
+	}
+}
+
+// totals returns global (mass, energy) via a real reduction.
+func (hy *hydro) totals(r *mpi.Rank) (mass, energy float64) {
+	var m, e float64
+	for j := 0; j < hy.h; j++ {
+		for i := 0; i < hy.w; i++ {
+			id := hy.idx(i, j)
+			m += hy.q[qRho][id]
+			e += hy.q[qE][id]
+		}
+	}
+	out := r.Allreduce([]float64{m, e}, 16, mpi.OpSum)
+	return out[0], out[1]
+}
+
+// minDensity returns the local minimum density (positivity check).
+func (hy *hydro) minDensity() float64 {
+	lo := math.Inf(1)
+	for j := 0; j < hy.h; j++ {
+		for i := 0; i < hy.w; i++ {
+			lo = math.Min(lo, hy.q[qRho][hy.idx(i, j)])
+		}
+	}
+	return lo
+}

@@ -1,0 +1,201 @@
+// Package lbm implements the 505.lbm_t / 605.lbm_s benchmark: a 2D
+// lattice-Boltzmann CFD solver.
+//
+// The SPEChpc code is a D2Q37 model with ~6600 flops per lattice-site
+// update in the collision kernel (Sect. 4.1.6 of the paper) and a strongly
+// memory-bound propagate kernel. Our executable lattice is a real D2Q9
+// BGK solver (verifiable physics: mass conservation, bounce-back walls)
+// while the cost model charges D2Q37 rates: 37 populations of traffic and
+// the full collision flop count. The paper's reported behaviours —
+// per-step MPI_Barrier overhead, fluctuating performance with clear upper
+// and lower envelopes, and a straggler rank at awkward process counts —
+// are produced by the alignment-penalty model in penalty.go.
+package lbm
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+)
+
+// Table 1 inputs (tiny, small).
+type config struct {
+	nx, ny int // lattice dimensions {X, Y}
+	steps  int // number of iterations
+}
+
+func configFor(c bench.Class) config {
+	switch c {
+	case bench.Tiny:
+		return config{nx: 4096, ny: 16384, steps: 600}
+	default:
+		return config{nx: 12000, ny: 48000, steps: 500}
+	}
+}
+
+// D2Q37 cost-model constants (per lattice-site update).
+const (
+	flopsPerSite   = 6600.0 // collision kernel, Sect. 4.1.6
+	populations    = 37
+	simdFraction   = 0.951 // paper vectorization table
+	simdEff        = 0.076 // calibrated: ~400 Gflop/s on a ClusterA node
+	scalarEff      = 0.30
+	bytesPerSite   = populations * 8 * 4 // collide r/w + sparse propagate r/w
+	l2BytesPerSite = populations * 8 * 5
+	l3BytesPerSite = populations * 8 * 2.5
+	heatFrac       = 0.87
+)
+
+func init() {
+	bench.Register(&bench.Benchmark{
+		ID:          5,
+		Name:        "lbm",
+		Language:    "C",
+		LOC:         9000,
+		Collective:  "Barrier",
+		Numerics:    "Lattice-Boltzmann Method D2Q37",
+		Domain:      "2D CFD solver",
+		MemoryBound: false,
+		VectorPct:   95.1,
+		Run:         run,
+	})
+}
+
+func run(r *mpi.Rank, c bench.Class, o bench.Options) (bench.RunReport, error) {
+	cfg := configFor(c)
+	simSteps := o.SimSteps
+	if simSteps <= 0 {
+		simSteps = 4
+	}
+	if simSteps > cfg.steps {
+		simSteps = cfg.steps
+	}
+	scaleDiv := o.ScaleDiv
+	if scaleDiv <= 0 {
+		scaleDiv = 64
+	}
+
+	p := r.Size()
+	px, py := bench.Grid2D(p)
+	cart := bench.NewCart2D(r, px, py)
+
+	// Model-scale tile (paper geometry, naive ceil split: the uneven tail
+	// tile drives the straggler model).
+	mx0, mx1 := bench.Split1D(cfg.nx, px, cart.X)
+	my0, my1 := bench.SplitCeil1D(cfg.ny, py, cart.Y)
+	mw, mh := mx1-mx0, my1-my0
+	pen := alignPenalty(px, py, mw, mh)
+
+	// Real lattice tile: model tile divided by scaleDiv, at least 4x4.
+	rw, rh := max(4, mw/scaleDiv), max(4, mh/scaleDiv)
+	lat := newLattice(rw, rh)
+	initialMass := lat.mass()
+
+	sites := float64(mw) * float64(mh)
+	phase := machine.Phase{
+		Name:        "collide+propagate",
+		FlopsSIMD:   flopsPerSite * simdFraction * sites,
+		FlopsScalar: flopsPerSite * (1 - simdFraction) * sites,
+		SIMDEff:     simdEff,
+		ScalarEff:   scalarEff,
+		BytesMem:    bytesPerSite * sites,
+		BytesL2:     l2BytesPerSite * sites * pen.l2Factor,
+		BytesL3:     l3BytesPerSite * sites,
+		CorePenalty: pen.core,
+		HeatFrac:    heatFrac,
+	}
+
+	// Halo model bytes: one lattice line of all populations crossing the
+	// cut (one third of the velocities point across any given face).
+	modelX := float64(mh) * populations * 8 / 3
+	modelY := float64(mw) * populations * 8 / 3
+
+	globalMass0 := r.Allreduce([]float64{initialMass}, 8, mpi.OpSum)[0]
+
+	for step := 0; step < simSteps; step++ {
+		// Two-stage exchange so diagonal populations cross rank corners:
+		// the Y borders are packed after the X ghosts have arrived.
+		hx := cart.ExchangeX(lat.edgeW(), lat.edgeE(), 16, modelX)
+		lat.applyHaloX(hx)
+		hy := cart.ExchangeY(lat.edgeS(), lat.edgeN(), 20, modelY)
+		lat.applyHaloY(hy)
+		lat.step()
+		r.Compute(phase)
+		// The SPEC code synchronizes all ranks at the end of every
+		// iteration; the paper notes this barrier is avoidable but
+		// present (Sect. 5, "Communication routines").
+		r.Barrier()
+	}
+
+	globalMass1 := r.Allreduce([]float64{lat.mass()}, 8, mpi.OpSum)[0]
+
+	rep := bench.RunReport{StepsModeled: cfg.steps, StepsSimulated: simSteps}
+	if r.ID() == 0 {
+		relErr := math.Abs(globalMass1-globalMass0) / globalMass0
+		rep.Checks = append(rep.Checks, bench.Check{
+			Name:  "global mass conservation",
+			Value: relErr,
+			OK:    relErr < 1e-9,
+		})
+		rep.Checks = append(rep.Checks, bench.Check{
+			Name:  "densities finite and positive",
+			Value: lat.minDensity(),
+			OK:    lat.minDensity() > 0,
+		})
+	}
+	return rep, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// penalties bundles the alignment-model outputs for one rank's tile.
+type penalties struct {
+	core     float64 // multiplier on in-core time
+	l2Factor float64 // multiplier on L2 traffic
+}
+
+// alignPenalty is the phenomenological data-layout model for lbm's
+// fluctuating performance (Sect. 4.1.6). The paper attributes the
+// fluctuations to several overlapping effects (TLB shortage from many
+// concurrent SoA streams, L1 bank conflicts, unfortunate local tile
+// sizes) without a complete root-cause per process count; we encode the
+// two mechanisms it demonstrates:
+//
+//   - Straggler tiles: in full-width strip decompositions (px == 1) the
+//     naive ceil-split leaves the last rank a remainder tile whose height
+//     breaks the SoA page interleaving; that rank runs ~1.5x slower and
+//     everybody else waits at the per-step barrier. At 71 ranks this is
+//     exactly "process 70 being significantly slower" of Fig. 2(h).
+//   - Width misalignment: tile widths that are not a multiple of 16
+//     doubles (one 128-byte sector pair) cost extra in-core time and L2
+//     traffic on every stream — a uniform slowdown with excess L2 volume,
+//     the signature the paper reports at e.g. 45 and 49 processes.
+//
+// Counts whose decomposition yields aligned, even tiles (44, 64, 72, ...)
+// run at the fast envelope.
+func alignPenalty(px, py, tileW, tileH int) penalties {
+	pen := penalties{core: 1, l2Factor: 1}
+	if px == 1 && py >= 20 && tileH%2 == 0 {
+		// Remainder strip tile with broken page interleaving.
+		pen.core += 0.5
+		pen.l2Factor += 0.6
+	}
+	if tileW%16 != 0 {
+		pen.core += 0.30
+		pen.l2Factor += 0.9
+	}
+	return pen
+}
+
+// String implements a debug display for penalties.
+func (p penalties) String() string {
+	return fmt.Sprintf("core x%.2f, L2 x%.2f", p.core, p.l2Factor)
+}

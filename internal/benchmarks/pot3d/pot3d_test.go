@@ -1,0 +1,140 @@
+package pot3d
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+	"github.com/spechpc/spechpc-sim/internal/trace"
+	"github.com/spechpc/spechpc-sim/internal/units"
+)
+
+func runPot3d(t *testing.T, cs *machine.ClusterSpec, n, iters int) (mpi.Result, bench.RunReport) {
+	t.Helper()
+	var rep bench.RunReport
+	res, err := mpi.Run(mpi.Config{Cluster: cs, Ranks: n, Trace: trace.NewRecorder(n, false)},
+		func(r *mpi.Rank) {
+			rr, err := run(r, bench.Tiny, bench.Options{SimSteps: iters})
+			if err != nil {
+				t.Error(err)
+			}
+			if r.ID() == 0 {
+				rep = rr
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rep
+}
+
+func TestRegistered(t *testing.T) {
+	b, err := bench.Get("pot3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != 28 || !b.MemoryBound || b.Language != "Fortran" {
+		t.Fatalf("pot3d metadata wrong: %+v", b)
+	}
+}
+
+func TestResidualReduction(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6} {
+		_, rep := runPot3d(t, machine.ClusterA(), n, 10)
+		if !rep.Valid() {
+			t.Fatalf("n=%d: %+v", n, rep.Checks)
+		}
+	}
+}
+
+func TestPCGConvergesDeep(t *testing.T) {
+	var ratio float64
+	_, err := mpi.Run(mpi.Config{Cluster: machine.ClusterA(), Ranks: 1}, func(r *mpi.Rank) {
+		s := newSpherical(8, 8, 8, bench.NewCart2D(r, 1, 1))
+		r0 := s.residualNorm(r)
+		for i := 0; i < 80; i++ {
+			s.pcgIteration(r, 8, 8)
+		}
+		ratio = math.Sqrt(math.Abs(s.rz)) / r0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio > 1e-6 {
+		t.Fatalf("PCG residual ratio after 80 iters = %g, want deep convergence", ratio)
+	}
+}
+
+func TestOperatorSymmetry(t *testing.T) {
+	// <u, A v> must equal <v, A u> for the CG to be legitimate.
+	_, err := mpi.Run(mpi.Config{Cluster: machine.ClusterA(), Ranks: 1}, func(r *mpi.Rank) {
+		s := newSpherical(6, 6, 6, bench.NewCart2D(r, 1, 1))
+		u := make([]float64, len(s.p))
+		v := make([]float64, len(s.p))
+		for k := 0; k < s.np; k++ {
+			for j := 0; j < s.nt; j++ {
+				for i := 0; i < s.nr; i++ {
+					id := s.idx(i, j, k)
+					u[id] = math.Sin(float64(3*i + 5*j + 7*k))
+					v[id] = math.Cos(float64(2*i + 3*j + 11*k))
+				}
+			}
+		}
+		apply := func(in []float64) []float64 {
+			copy(s.p, in)
+			s.applyA()
+			out := make([]float64, len(s.ap))
+			copy(out, s.ap)
+			return out
+		}
+		au := apply(u)
+		av := apply(v)
+		uav := s.dotInterior(u, av)
+		vau := s.dotInterior(v, au)
+		if math.Abs(uav-vau) > 1e-9*(math.Abs(uav)+1) {
+			t.Errorf("operator not symmetric: <u,Av>=%g <v,Au>=%g", uav, vau)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrongSaturation(t *testing.T) {
+	// pot3d is the most strongly saturating code: a ccNUMA domain must
+	// pin the memory bandwidth at the saturated value.
+	res, _ := runPot3d(t, machine.ClusterA(), 18, 5)
+	if bw := res.Usage.MemBandwidth(); bw < 72*units.G {
+		t.Fatalf("domain bandwidth = %s, want ~76.5 GB/s", units.Bandwidth(bw))
+	}
+}
+
+func TestNodePerformanceCalibration(t *testing.T) {
+	// Fig. 1(c): pot3d reaches ~150 Gflop/s on a ClusterA node.
+	res, _ := runPot3d(t, machine.ClusterA(), 72, 4)
+	gf := res.Usage.PerfFlops() / 1e9
+	if gf < 110 || gf > 190 {
+		t.Fatalf("node perf = %.0f Gflop/s, want ~150", gf)
+	}
+}
+
+func TestVictimCacheProfile(t *testing.T) {
+	// Paper Sect. 4.1.4: on ClusterA, pot3d's L3 bandwidth (~124 GB/s)
+	// exceeds its L2 bandwidth (~80 GB/s) — victim-cache traffic. The
+	// model must preserve L3 > L2 for this kernel.
+	res, _ := runPot3d(t, machine.ClusterA(), 72, 4)
+	l2 := res.Usage.L2Bandwidth()
+	l3 := res.Usage.L3Bandwidth()
+	if l3 <= l2 {
+		t.Fatalf("L3 bandwidth (%s) not above L2 (%s)", units.Bandwidth(l3), units.Bandwidth(l2))
+	}
+}
+
+func TestNearPerfectVectorization(t *testing.T) {
+	res, _ := runPot3d(t, machine.ClusterA(), 4, 4)
+	if r := res.Usage.SIMDRatio(); r < 0.995 {
+		t.Fatalf("SIMD ratio = %.4f, want ~0.999", r)
+	}
+}

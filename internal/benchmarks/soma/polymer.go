@@ -1,0 +1,161 @@
+package soma
+
+import "math"
+
+// polymerSystem is the real (scaled-down) Monte-Carlo state of one rank:
+// bead-spring chains in the unit box moved by Metropolis displacement
+// trials against a soft density-field energy, plus a small replicated
+// density grid that is globally reduced each step — the real counterpart
+// of SOMA's SCMF iteration.
+type polymerSystem struct {
+	chains int
+	beads  int
+	grid   int // density grid cells per dimension
+	// Bead positions, flattened [chain*beads*3].
+	pos []float64
+	// density is this rank's contribution (rebinned each step); field is
+	// the global (allreduced) density all ranks share.
+	density []float64
+	field   []float64
+	rng     uint64
+	// Soft-interaction strength (kappa in SCMF terms).
+	kappa float64
+}
+
+func newPolymerSystem(seed, chains, beads, grid int) *polymerSystem {
+	s := &polymerSystem{
+		chains: chains,
+		beads:  beads,
+		grid:   grid,
+		rng:    uint64(seed)*2862933555777941757 + 3037000493,
+		kappa:  0.5,
+	}
+	n := chains * beads
+	s.pos = make([]float64, 3*n)
+	s.density = make([]float64, grid*grid*grid)
+	s.field = make([]float64, grid*grid*grid)
+	// Random-walk chain initialization in the unit box.
+	for c := 0; c < chains; c++ {
+		x, y, z := s.rand(), s.rand(), s.rand()
+		for b := 0; b < beads; b++ {
+			i := 3 * (c*beads + b)
+			s.pos[i] = wrap(x)
+			s.pos[i+1] = wrap(y)
+			s.pos[i+2] = wrap(z)
+			x += 0.02 * (s.rand() - 0.5)
+			y += 0.02 * (s.rand() - 0.5)
+			z += 0.02 * (s.rand() - 0.5)
+		}
+	}
+	s.binDensity()
+	copy(s.field, s.density)
+	return s
+}
+
+// rand returns a deterministic uniform value in [0, 1).
+func (s *polymerSystem) rand() float64 {
+	s.rng = s.rng*6364136223846793005 + 1442695040888963407
+	return float64(s.rng>>11) / float64(1<<53)
+}
+
+// wrap applies periodic boundary conditions to the unit box.
+func vwrap(v float64) float64 {
+	v = math.Mod(v, 1)
+	if v < 0 {
+		v++
+	}
+	return v
+}
+
+func wrap(v float64) float64 { return vwrap(v) }
+
+// cellOf returns the density-grid cell index of a position.
+func (s *polymerSystem) cellOf(x, y, z float64) int {
+	g := float64(s.grid)
+	cx := int(x * g)
+	cy := int(y * g)
+	cz := int(z * g)
+	if cx >= s.grid {
+		cx = s.grid - 1
+	}
+	if cy >= s.grid {
+		cy = s.grid - 1
+	}
+	if cz >= s.grid {
+		cz = s.grid - 1
+	}
+	return (cz*s.grid+cy)*s.grid + cx
+}
+
+// beadCount returns the number of beads this rank owns.
+func (s *polymerSystem) beadCount() int { return s.chains * s.beads }
+
+// energyAt is the soft density energy of a bead in a cell of the shared
+// field.
+func (s *polymerSystem) energyAt(cell int) float64 {
+	return s.kappa * s.field[cell]
+}
+
+// mcSweep proposes one displacement trial per bead with Metropolis
+// acceptance against the current shared field, plus a harmonic bond
+// penalty to the previous bead. Returns (accepted, trials).
+func (s *polymerSystem) mcSweep() (accepted, trials float64) {
+	const stepSize = 0.05
+	const bondK = 20.0
+	n := s.chains * s.beads
+	for i := 0; i < n; i++ {
+		ix := 3 * i
+		ox, oy, oz := s.pos[ix], s.pos[ix+1], s.pos[ix+2]
+		nx := wrap(ox + stepSize*(s.rand()-0.5))
+		ny := wrap(oy + stepSize*(s.rand()-0.5))
+		nz := wrap(oz + stepSize*(s.rand()-0.5))
+
+		dE := s.energyAt(s.cellOf(nx, ny, nz)) - s.energyAt(s.cellOf(ox, oy, oz))
+		// Bond to the previous bead of the same chain.
+		if i%s.beads != 0 {
+			px, py, pz := s.pos[ix-3], s.pos[ix-2], s.pos[ix-1]
+			dE += bondK * (dist2(nx, ny, nz, px, py, pz) - dist2(ox, oy, oz, px, py, pz))
+		}
+		trials++
+		if dE <= 0 || s.rand() < math.Exp(-dE) {
+			s.pos[ix], s.pos[ix+1], s.pos[ix+2] = nx, ny, nz
+			accepted++
+		}
+	}
+	return accepted, trials
+}
+
+// dist2 is the squared periodic distance between two points.
+func dist2(ax, ay, az, bx, by, bz float64) float64 {
+	dx := pdist(ax - bx)
+	dy := pdist(ay - by)
+	dz := pdist(az - bz)
+	return dx*dx + dy*dy + dz*dz
+}
+
+func pdist(d float64) float64 {
+	if d > 0.5 {
+		return d - 1
+	}
+	if d < -0.5 {
+		return d + 1
+	}
+	return d
+}
+
+// binDensity recomputes this rank's density contribution from its beads.
+func (s *polymerSystem) binDensity() {
+	for i := range s.density {
+		s.density[i] = 0
+	}
+	n := s.chains * s.beads
+	for i := 0; i < n; i++ {
+		ix := 3 * i
+		s.density[s.cellOf(s.pos[ix], s.pos[ix+1], s.pos[ix+2])]++
+	}
+}
+
+// setField installs the globally reduced density as the shared field.
+func (s *polymerSystem) setField(global []float64) {
+	copy(s.field, global)
+}

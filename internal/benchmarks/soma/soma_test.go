@@ -1,0 +1,138 @@
+package soma
+
+import (
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+	"github.com/spechpc/spechpc-sim/internal/trace"
+)
+
+func runSoma(t *testing.T, n, steps int) (mpi.Result, bench.RunReport, *trace.Recorder) {
+	t.Helper()
+	rec := trace.NewRecorder(n, false)
+	var rep bench.RunReport
+	res, err := mpi.Run(mpi.Config{Cluster: machine.ClusterA(), Ranks: n, Trace: rec},
+		func(r *mpi.Rank) {
+			rr, err := run(r, bench.Tiny, bench.Options{SimSteps: steps})
+			if err != nil {
+				t.Error(err)
+			}
+			if r.ID() == 0 {
+				rep = rr
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rep, rec
+}
+
+func TestRegistered(t *testing.T) {
+	b, err := bench.Get("soma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != 13 || b.MemoryBound || b.VectorPct != 2.2 {
+		t.Fatalf("soma metadata wrong: %+v", b)
+	}
+}
+
+func TestChecksPass(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		_, rep, _ := runSoma(t, n, 2)
+		if !rep.Valid() {
+			t.Fatalf("n=%d: %+v", n, rep.Checks)
+		}
+	}
+}
+
+func TestBeadsConservedUnderMC(t *testing.T) {
+	s := newPolymerSystem(7, 10, 16, 8)
+	want := float64(s.beadCount())
+	for i := 0; i < 5; i++ {
+		s.mcSweep()
+		s.binDensity()
+		got := 0.0
+		for _, v := range s.density {
+			got += v
+		}
+		if got != want {
+			t.Fatalf("sweep %d: binned beads %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestPositionsStayInBox(t *testing.T) {
+	s := newPolymerSystem(3, 6, 16, 8)
+	for i := 0; i < 10; i++ {
+		s.mcSweep()
+	}
+	for i, v := range s.pos {
+		if v < 0 || v >= 1 {
+			t.Fatalf("pos[%d] = %v escaped the unit box", i, v)
+		}
+	}
+}
+
+func TestFieldSuppressesCrowding(t *testing.T) {
+	// With kappa > 0, beads prefer low-density cells: the max cell count
+	// should not grow over sweeps (soft repulsion).
+	s := newPolymerSystem(5, 40, 16, 6)
+	maxCell := func() float64 {
+		s.binDensity()
+		m := 0.0
+		for _, v := range s.density {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	before := maxCell()
+	copy(s.field, s.density)
+	for i := 0; i < 15; i++ {
+		s.mcSweep()
+		s.binDensity()
+		copy(s.field, s.density)
+	}
+	after := maxCell()
+	if after > before*1.5 {
+		t.Fatalf("density peak grew under repulsive field: %v -> %v", before, after)
+	}
+}
+
+func TestAllreduceDominatesAtScale(t *testing.T) {
+	// soma is the code with the largest MPI_Allreduce share.
+	_, _, rec := runSoma(t, 32, 2)
+	frac := rec.GlobalFraction(trace.KindAllreduce)
+	if frac <= 0 {
+		t.Fatal("no Allreduce time recorded")
+	}
+	for _, k := range []trace.Kind{trace.KindSend, trace.KindRecv, trace.KindBarrier} {
+		if rec.GlobalFraction(k) > frac {
+			t.Fatalf("%v fraction above Allreduce; soma must be reduction-dominated", k)
+		}
+	}
+}
+
+func TestReplicatedFieldTrafficGrowsAtScale(t *testing.T) {
+	// Aggregate memory volume must grow with rank count at multi-node
+	// scale: the replicated field sweep adds constant per-rank traffic
+	// (Sect. 5.1.2; Fig. 5e shows the linear rise over hundreds of
+	// processes).
+	res576, _, _ := runSoma(t, 576, 1)
+	res1152, _, _ := runSoma(t, 1152, 1)
+	growth := res1152.Usage.BytesMem / res576.Usage.BytesMem
+	if growth < 1.3 {
+		t.Fatalf("memory volume growth 576->1152 ranks = %.2fx; replication signature missing", growth)
+	}
+}
+
+func TestScalarCode(t *testing.T) {
+	res, _, _ := runSoma(t, 4, 2)
+	if r := res.Usage.SIMDRatio(); r > 0.05 {
+		t.Fatalf("SIMD ratio = %.3f, want ~0.022", r)
+	}
+}

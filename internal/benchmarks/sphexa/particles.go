@@ -1,0 +1,270 @@
+package sphexa
+
+import "math"
+
+// particles is the real (scaled-down) SPH state of one rank: a particle
+// set in the unit box with cell-list neighbor search, cubic-spline
+// kernel, isothermal pressure forces, and halo layers received from the
+// z neighbors. The numerics are genuine SPH; only the particle count is
+// reduced relative to the modeled workload.
+type particles struct {
+	n          int
+	h          float64 // smoothing length
+	m          float64 // particle mass
+	cs         float64 // isothermal sound speed
+	x, y, z    []float64
+	vx, vy, vz []float64
+	ax, ay, az []float64
+	rho        []float64
+	// halo particle coordinates (from z neighbors), packed x,y,z.
+	hx, hy, hz []float64
+	// cell list.
+	g     int
+	cells [][]int
+}
+
+func newParticles(seed, side int) *particles {
+	n := side * side * side
+	p := &particles{n: n, h: 1.6 / float64(side), cs: 1.0}
+	p.m = 1.0 / float64(n)
+	alloc := func() []float64 { return make([]float64, n) }
+	p.x, p.y, p.z = alloc(), alloc(), alloc()
+	p.vx, p.vy, p.vz = alloc(), alloc(), alloc()
+	p.ax, p.ay, p.az = alloc(), alloc(), alloc()
+	p.rho = alloc()
+	rng := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	rnd := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>11) / float64(1<<53)
+	}
+	i := 0
+	for a := 0; a < side; a++ {
+		for b := 0; b < side; b++ {
+			for c := 0; c < side; c++ {
+				p.x[i] = (float64(a) + 0.5 + 0.1*(rnd()-0.5)) / float64(side)
+				p.y[i] = (float64(b) + 0.5 + 0.1*(rnd()-0.5)) / float64(side)
+				p.z[i] = (float64(c) + 0.5 + 0.1*(rnd()-0.5)) / float64(side)
+				i++
+			}
+		}
+	}
+	p.g = int(math.Max(1, math.Floor(1/p.h)))
+	p.cells = make([][]int, p.g*p.g*p.g)
+	return p
+}
+
+// kernel is the normalized 3D cubic-spline kernel W(r, h).
+func (p *particles) kernel(r float64) float64 {
+	q := r / p.h
+	sigma := 8 / (math.Pi * p.h * p.h * p.h)
+	switch {
+	case q < 0.5:
+		return sigma * (6*(q*q*q-q*q) + 1)
+	case q < 1:
+		d := 1 - q
+		return sigma * 2 * d * d * d
+	default:
+		return 0
+	}
+}
+
+// kernelGrad is dW/dr.
+func (p *particles) kernelGrad(r float64) float64 {
+	q := r / p.h
+	sigma := 8 / (math.Pi * p.h * p.h * p.h)
+	switch {
+	case q < 0.5:
+		return sigma * 6 * (3*q*q - 2*q) / p.h
+	case q < 1:
+		d := 1 - q
+		return -sigma * 6 * d * d / p.h
+	default:
+		return 0
+	}
+}
+
+// haloParticles packs the positions of particles within one smoothing
+// length of the top (z near 1) or bottom (z near 0) face, shifted so the
+// receiving neighbor sees them adjacent to its own box.
+func (p *particles) haloParticles(top bool) []float64 {
+	var out []float64
+	for i := 0; i < p.n; i++ {
+		if top && p.z[i] > 1-p.h {
+			out = append(out, p.x[i], p.y[i], p.z[i]-1)
+		} else if !top && p.z[i] < p.h {
+			out = append(out, p.x[i], p.y[i], p.z[i]+1)
+		}
+	}
+	return out
+}
+
+// setHalo installs received halo particles (nil = open boundary).
+func (p *particles) setHalo(fromDown, fromUp []float64) {
+	p.hx, p.hy, p.hz = nil, nil, nil
+	add := func(data []float64) {
+		for i := 0; i+2 < len(data); i += 3 {
+			p.hx = append(p.hx, data[i])
+			p.hy = append(p.hy, data[i+1])
+			p.hz = append(p.hz, data[i+2])
+		}
+	}
+	add(fromDown)
+	add(fromUp)
+}
+
+// buildCells rebins owned particles into the cell list.
+func (p *particles) buildCells() {
+	for i := range p.cells {
+		p.cells[i] = p.cells[i][:0]
+	}
+	for i := 0; i < p.n; i++ {
+		p.cells[p.cellOf(p.x[i], p.y[i], p.z[i])] = append(p.cells[p.cellOf(p.x[i], p.y[i], p.z[i])], i)
+	}
+}
+
+func (p *particles) cellOf(x, y, z float64) int {
+	c := func(v float64) int {
+		i := int(v * float64(p.g))
+		if i < 0 {
+			i = 0
+		}
+		if i >= p.g {
+			i = p.g - 1
+		}
+		return i
+	}
+	return (c(z)*p.g+c(y))*p.g + c(x)
+}
+
+// forEachNeighbor visits owned neighbor candidates of (x,y,z) using the
+// 27-cell stencil with periodic wrap in all dimensions.
+func (p *particles) forEachNeighbor(x, y, z float64, fn func(j int)) {
+	cx := int(x * float64(p.g))
+	cy := int(y * float64(p.g))
+	cz := int(z * float64(p.g))
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				ix := (cx + dx + p.g) % p.g
+				iy := (cy + dy + p.g) % p.g
+				iz := (cz + dz + p.g) % p.g
+				for _, j := range p.cells[(iz*p.g+iy)*p.g+ix] {
+					fn(j)
+				}
+			}
+		}
+	}
+}
+
+// densityPass computes SPH densities over owned + halo particles.
+func (p *particles) densityPass() {
+	p.buildCells()
+	for i := 0; i < p.n; i++ {
+		rho := p.m * p.kernel(0) // self contribution
+		xi, yi, zi := p.x[i], p.y[i], p.z[i]
+		p.forEachNeighbor(xi, yi, zi, func(j int) {
+			if j == i {
+				return
+			}
+			r := dist(xi, yi, zi, p.x[j], p.y[j], p.z[j])
+			if r < p.h {
+				rho += p.m * p.kernel(r)
+			}
+		})
+		// Halo contributions (linear scan; halo sets are small).
+		for k := range p.hx {
+			r := dist(xi, yi, zi, p.hx[k], p.hy[k], p.hz[k])
+			if r < p.h {
+				rho += p.m * p.kernel(r)
+			}
+		}
+		p.rho[i] = rho
+	}
+}
+
+// forcePass computes isothermal pressure accelerations
+// (P = cs^2 rho, symmetric SPH form).
+func (p *particles) forcePass() {
+	for i := 0; i < p.n; i++ {
+		p.ax[i], p.ay[i], p.az[i] = 0, 0, 0
+		xi, yi, zi := p.x[i], p.y[i], p.z[i]
+		pi := p.cs * p.cs / p.rho[i] // P_i / rho_i^2 with P = cs^2 rho
+		p.forEachNeighbor(xi, yi, zi, func(j int) {
+			if j == i {
+				return
+			}
+			r := dist(xi, yi, zi, p.x[j], p.y[j], p.z[j])
+			if r <= 1e-12 || r >= p.h {
+				return
+			}
+			pj := p.cs * p.cs / p.rho[j]
+			f := -p.m * (pi + pj) * p.kernelGrad(r) / r
+			p.ax[i] += f * (xi - p.x[j])
+			p.ay[i] += f * (yi - p.y[j])
+			p.az[i] += f * (zi - p.z[j])
+		})
+	}
+}
+
+// cflLimit returns the local CFL timestep bound.
+func (p *particles) cflLimit() float64 {
+	vmax := p.maxSpeed()
+	return 0.25 * p.h / (p.cs + vmax)
+}
+
+// integrate advances positions and velocities (periodic unit box).
+func (p *particles) integrate(dt float64) {
+	for i := 0; i < p.n; i++ {
+		p.vx[i] += dt * p.ax[i]
+		p.vy[i] += dt * p.ay[i]
+		p.vz[i] += dt * p.az[i]
+		p.x[i] = wrap01(p.x[i] + dt*p.vx[i])
+		p.y[i] = wrap01(p.y[i] + dt*p.vy[i])
+		p.z[i] = wrap01(p.z[i] + dt*p.vz[i])
+	}
+}
+
+// minDensity returns the smallest computed density.
+func (p *particles) minDensity() float64 {
+	lo := math.Inf(1)
+	for _, v := range p.rho {
+		if v < lo {
+			lo = v
+		}
+	}
+	return lo
+}
+
+// maxSpeed returns the largest particle speed.
+func (p *particles) maxSpeed() float64 {
+	hi := 0.0
+	for i := 0; i < p.n; i++ {
+		s := math.Sqrt(p.vx[i]*p.vx[i] + p.vy[i]*p.vy[i] + p.vz[i]*p.vz[i])
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi
+}
+
+// totalMomentum returns the signed sum of momentum components.
+func (p *particles) totalMomentum() float64 {
+	var sum float64
+	for i := 0; i < p.n; i++ {
+		sum += p.m * (p.vx[i] + p.vy[i] + p.vz[i])
+	}
+	return sum
+}
+
+func dist(ax, ay, az, bx, by, bz float64) float64 {
+	dx, dy, dz := ax-bx, ay-by, az-bz
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+func wrap01(v float64) float64 {
+	v = math.Mod(v, 1)
+	if v < 0 {
+		v++
+	}
+	return v
+}

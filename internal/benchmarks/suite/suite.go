@@ -1,0 +1,17 @@
+// Package suite registers the full SPEChpc 2021 benchmark collection.
+// Importing it (usually blank) makes all nine kernels available in the
+// bench registry, mirroring the suite the paper runs.
+package suite
+
+import (
+	// Each kernel registers itself in its init function.
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/cloverleaf"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/hpgmgfv"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/lbm"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/minisweep"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/pot3d"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/soma"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/sphexa"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/tealeaf"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/weather"
+)

@@ -1,0 +1,154 @@
+package weather
+
+import "math"
+
+// strip is the real (scaled-down) state of one rank: a vertical slice of
+// the atmosphere carrying a tracer advected by an analytic jet with
+// conservative upwind fluxes, plus an injection source on rank 0 (the
+// benchmark's model 6). Fluxes at rank boundaries are computed from halo
+// columns identically on both sides, so the global tracer budget is
+// exact: total mass = initial mass + injected mass.
+type strip struct {
+	w, h int
+	// q has one ghost column on each side (x ghosts only; z walls are
+	// closed).
+	q, qn []float64
+	u     []float64 // zonal wind per level
+	wv    []float64 // vertical wind per level (small)
+	dt    float64
+	// inject marks the source region (rank 0 only); injRate is the mass
+	// added per source cell per unit time.
+	inject  bool
+	injRate float64
+	// initialMass is the tracer mass at construction.
+	initialMass float64
+	// wallL/wallR mark closed domain walls (no neighbor).
+	wallL, wallR bool
+}
+
+func newStrip(w, h int, inject bool) *strip {
+	s := &strip{w: w, h: h, inject: inject, injRate: 0.5}
+	s.q = make([]float64, (w+2)*h)
+	s.qn = make([]float64, (w+2)*h)
+	s.u = make([]float64, h)
+	s.wv = make([]float64, h)
+	for k := 0; k < h; k++ {
+		zf := (float64(k) + 0.5) / float64(h)
+		s.u[k] = 1.0 + 0.5*math.Sin(math.Pi*zf) // jet profile
+		s.wv[k] = 0.1 * math.Cos(math.Pi*zf)
+	}
+	for k := 0; k < h; k++ {
+		for i := 0; i < w; i++ {
+			xf := (float64(i) + 0.5) / float64(w)
+			s.q[s.idx(i, k)] = 0.2 + 0.1*math.Sin(2*math.Pi*xf)*math.Cos(math.Pi*(float64(k)+0.5)/float64(h))
+		}
+	}
+	s.initialMass = s.totalMass()
+	// CFL-safe fixed step for |u| <= 1.5, |w| <= 0.1, dx = dz = 1.
+	s.dt = 0.4 / 1.6
+	return s
+}
+
+// idx maps x in [-1, w] (ghosts) and z in [0, h).
+func (s *strip) idx(i, k int) int { return k*(s.w+2) + (i + 1) }
+
+// edgeColumns returns the left and right interior edge columns.
+func (s *strip) edgeColumns() (left, right []float64) {
+	left = make([]float64, s.h)
+	right = make([]float64, s.h)
+	for k := 0; k < s.h; k++ {
+		left[k] = s.q[s.idx(0, k)]
+		right[k] = s.q[s.idx(s.w-1, k)]
+	}
+	return left, right
+}
+
+// applyHalo installs neighbor ghost columns; nil marks a closed wall.
+func (s *strip) applyHalo(fromL, fromR []float64) {
+	s.wallL = fromL == nil
+	s.wallR = fromR == nil
+	for k := 0; k < s.h; k++ {
+		if !s.wallL && k < len(fromL) {
+			s.q[s.idx(-1, k)] = fromL[k]
+		}
+		if !s.wallR && k < len(fromR) {
+			s.q[s.idx(s.w, k)] = fromR[k]
+		}
+	}
+}
+
+// fluxX returns the upwind x-face flux between cells i-1 and i at level
+// k; faces at closed walls carry no flux.
+func (s *strip) fluxX(i, k int) float64 {
+	if (i == 0 && s.wallL) || (i == s.w && s.wallR) {
+		return 0
+	}
+	if s.u[k] >= 0 {
+		return s.u[k] * s.q[s.idx(i-1, k)]
+	}
+	return s.u[k] * s.q[s.idx(i, k)]
+}
+
+// fluxZ returns the upwind z-face flux between levels k-1 and k in
+// column i; the top and bottom are closed.
+func (s *strip) fluxZ(i, k int) float64 {
+	if k == 0 || k == s.h {
+		return 0
+	}
+	wf := 0.5 * (s.wv[k-1] + s.wv[k])
+	if wf >= 0 {
+		return wf * s.q[s.idx(i, k-1)]
+	}
+	return wf * s.q[s.idx(i, k)]
+}
+
+// step advances one conservative upwind step and returns the tracer mass
+// injected by the source during the step.
+func (s *strip) step() float64 {
+	injected := 0.0
+	for k := 0; k < s.h; k++ {
+		for i := 0; i < s.w; i++ {
+			id := s.idx(i, k)
+			div := (s.fluxX(i+1, k) - s.fluxX(i, k)) +
+				(s.fluxZ(i, k+1) - s.fluxZ(i, k))
+			v := s.q[id] - s.dt*div
+			// Injection source: a small region near the inflow wall.
+			if s.inject && i < 2 && k >= s.h/3 && k < 2*s.h/3 {
+				v += s.dt * s.injRate
+				injected += s.dt * s.injRate
+			}
+			s.qn[id] = v
+		}
+	}
+	// Preserve ghosts; swap interiors.
+	for k := 0; k < s.h; k++ {
+		for i := 0; i < s.w; i++ {
+			s.q[s.idx(i, k)] = s.qn[s.idx(i, k)]
+		}
+	}
+	return injected
+}
+
+// totalMass returns the interior tracer mass.
+func (s *strip) totalMass() float64 {
+	var m float64
+	for k := 0; k < s.h; k++ {
+		for i := 0; i < s.w; i++ {
+			m += s.q[s.idx(i, k)]
+		}
+	}
+	return m
+}
+
+// maxAbs returns the largest |q|, for finiteness checks.
+func (s *strip) maxAbs() float64 {
+	hi := 0.0
+	for k := 0; k < s.h; k++ {
+		for i := 0; i < s.w; i++ {
+			if v := math.Abs(s.q[s.idx(i, k)]); v > hi {
+				hi = v
+			}
+		}
+	}
+	return hi
+}

@@ -1,0 +1,177 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation from simulated runs: node-level scaling, vectorization,
+// bandwidth/volume, power, energy (Sect. 4, tiny suite) and multi-node
+// scaling, power, and energy (Sect. 5, small suite).
+//
+// Each experiment renders ASCII tables/plots to the context writer and
+// CSV files into the output directory. cmd/figures is the command-line
+// front end; the root-level benchmark harness drives the same functions.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite" // register all nine kernels
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/report"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+)
+
+// Context carries experiment settings and a sweep cache so experiments
+// sharing data (Fig. 1-4 all use the node sweeps) run each job once.
+type Context struct {
+	// OutDir receives CSV artifacts ("" = no files).
+	OutDir string
+	// Quick trades sweep resolution for speed (used by tests).
+	Quick bool
+	// W receives tables and ASCII plots (default os.Stdout).
+	W io.Writer
+
+	cache map[string][]spec.RunResult
+}
+
+// NewContext creates a context writing to stdout.
+func NewContext(outDir string, quick bool) *Context {
+	return &Context{OutDir: outDir, Quick: quick, W: os.Stdout, cache: map[string][]spec.RunResult{}}
+}
+
+func (ctx *Context) out() io.Writer {
+	if ctx.W == nil {
+		return os.Stdout
+	}
+	return ctx.W
+}
+
+// saveCSV writes a table as CSV into OutDir.
+func (ctx *Context) saveCSV(name string, t *report.Table) error {
+	if ctx.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(ctx.OutDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(ctx.OutDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+// saveSeriesCSV writes plot series as CSV into OutDir.
+func (ctx *Context) saveSeriesCSV(name, xName string, series []report.Series) error {
+	if ctx.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(ctx.OutDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(ctx.OutDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.SeriesCSV(f, xName, series)
+}
+
+// nodePoints returns the node-level sweep points for a cluster.
+func (ctx *Context) nodePoints(cs *machine.ClusterSpec) []int {
+	if !ctx.Quick {
+		return spec.NodePoints(cs)
+	}
+	cpd := cs.CPU.CoresPerDomain()
+	cps := cs.CPU.CoresPerSocket
+	cpn := cs.CPU.CoresPerNode()
+	return dedupSorted([]int{1, 2, 4, cpd / 2, cpd, 2 * cpd, cps, cpn})
+}
+
+// domainPoints returns the within-domain sweep points (Fig. 3/4).
+func (ctx *Context) domainPoints(cs *machine.ClusterSpec) []int {
+	cpd := cs.CPU.CoresPerDomain()
+	if !ctx.Quick {
+		return spec.DomainPoints(cs)
+	}
+	return dedupSorted([]int{1, 2, 4, cpd / 2, cpd})
+}
+
+// multiPoints returns multi-node sweep points (Fig. 5/6).
+func (ctx *Context) multiPoints(cs *machine.ClusterSpec) []int {
+	if !ctx.Quick {
+		return spec.MultiNodePoints(cs)
+	}
+	cpn := cs.CPU.CoresPerNode()
+	return []int{cpn, 2 * cpn, 4 * cpn}
+}
+
+// sweep runs (or retrieves from cache) a benchmark sweep.
+func (ctx *Context) sweep(cs *machine.ClusterSpec, benchName string, class bench.Class, points []int) ([]spec.RunResult, error) {
+	key := fmt.Sprintf("%s|%s|%v|%v", cs.Name, benchName, class, points)
+	if r, ok := ctx.cache[key]; ok {
+		return r, nil
+	}
+	steps := 0 // kernel default
+	if ctx.Quick {
+		steps = 1
+	}
+	results, err := spec.Sweep(spec.RunSpec{
+		Benchmark: benchName,
+		Class:     class,
+		Cluster:   cs,
+		Options:   bench.Options{SimSteps: steps},
+	}, points)
+	if err != nil {
+		return nil, err
+	}
+	ctx.cache[key] = results
+	return results, nil
+}
+
+func dedupSorted(v []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range v {
+		if x > 0 && !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Experiment is one regenerable artifact of the paper.
+type Experiment struct {
+	// ID is the short name used with -only (e.g. "fig1", "table3").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run produces the artifact.
+	Run func(*Context) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: benchmark attributes and workload inputs", Table1},
+		{"table2", "Table 2: numerics and application domains", Table2},
+		{"table3", "Table 3: hardware and software attributes", Table3},
+		{"fig1", "Fig. 1: node-level speedup and (AVX-)DP performance", Fig1},
+		{"eff", "Sect. 4.1.1: parallel efficiency table (domain baseline)", TextEfficiency},
+		{"accel", "Sect. 4.1.2: ClusterB over ClusterA acceleration factors", TextAcceleration},
+		{"simd", "Sect. 4.1.3: vectorization ratios", TextSIMD},
+		{"fig2", "Fig. 2: bandwidths, data volumes, and ITAC-style insets", Fig2},
+		{"fig3", "Fig. 3: CPU and DRAM power", Fig3},
+		{"fig4", "Fig. 4: energy Z-plots and total energy", Fig4},
+		{"fig5", "Fig. 5: multi-node scaling, bandwidth, volume (small suite)", Fig5},
+		{"cases", "Sect. 5.1.1: scaling-case classification", TextCases},
+		{"fig6", "Fig. 6: multi-node power and energy", Fig6},
+	}
+}

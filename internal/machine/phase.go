@@ -1,0 +1,127 @@
+package machine
+
+// Phase describes the resource footprint of one compute phase of one MPI
+// rank: the work between two MPI calls. Kernel work models produce Phase
+// values at paper-scale inputs; the System executes them in virtual time.
+type Phase struct {
+	// Name labels the phase for traces (e.g. "collide", "cg-spmv").
+	Name string
+
+	// FlopsScalar and FlopsSIMD are double-precision flops executed with
+	// scalar and AVX-512 instructions respectively. Their ratio is the
+	// vectorization ratio the paper reports per benchmark.
+	FlopsScalar float64
+	FlopsSIMD   float64
+
+	// SIMDEff and ScalarEff are the fractions of the respective peak rates
+	// this instruction mix achieves in-core (pipeline/dependency limits).
+	// Zero values default to 1.
+	SIMDEff   float64
+	ScalarEff float64
+
+	// BytesL2 is private L1<->L2 traffic; BytesL3 is L2<->L3 traffic on the
+	// shared L3 slice; BytesMem is L3<->DRAM traffic on the ccNUMA domain's
+	// memory channels. All in bytes for this rank in this phase.
+	BytesL2  float64
+	BytesL3  float64
+	BytesMem float64
+
+	// CorePenalty multiplies the in-core time; >= 1. It models execution
+	// slowdowns that are not extra traffic: TLB shortage, L1 bank
+	// conflicts, unfortunate alignment (the lbm fluctuation model).
+	CorePenalty float64
+
+	// IrregularFrac in [0,1] is the share of in-core work dominated by
+	// irregular/gather accesses; it is scaled by the CPU's
+	// IrregularAccessEff. Particle and sweep codes set this high,
+	// streaming stencil codes leave it zero.
+	IrregularFrac float64
+
+	// HeatFrac in (0,1] scales the per-core dynamic power while executing,
+	// relative to the CPU's CoreDynMaxPower (1.0 = hottest code).
+	HeatFrac float64
+}
+
+// withDefaults returns a copy with zero efficiency/penalty/heat fields
+// replaced by neutral values.
+func (ph Phase) withDefaults() Phase {
+	if ph.SIMDEff <= 0 {
+		ph.SIMDEff = 1
+	}
+	if ph.ScalarEff <= 0 {
+		ph.ScalarEff = 1
+	}
+	if ph.CorePenalty < 1 {
+		ph.CorePenalty = 1
+	}
+	if ph.HeatFrac <= 0 {
+		ph.HeatFrac = 0.75
+	}
+	return ph
+}
+
+// Flops returns total DP flops of the phase.
+func (ph Phase) Flops() float64 { return ph.FlopsScalar + ph.FlopsSIMD }
+
+// Scale returns the phase with all extensive quantities multiplied by f.
+// Used by work models to convert per-unit costs to per-step costs.
+func (ph Phase) Scale(f float64) Phase {
+	ph.FlopsScalar *= f
+	ph.FlopsSIMD *= f
+	ph.BytesL2 *= f
+	ph.BytesL3 *= f
+	ph.BytesMem *= f
+	return ph
+}
+
+// Add merges another phase's extensive quantities into ph (efficiencies,
+// penalty and heat are work-averaged by flops+bytes weight of the inputs).
+func (ph Phase) Add(other Phase) Phase {
+	wa := ph.weight()
+	wb := other.weight()
+	tot := wa + wb
+	if tot > 0 {
+		ph.SIMDEff = (ph.withDefaults().SIMDEff*wa + other.withDefaults().SIMDEff*wb) / tot
+		ph.ScalarEff = (ph.withDefaults().ScalarEff*wa + other.withDefaults().ScalarEff*wb) / tot
+		ph.CorePenalty = (ph.withDefaults().CorePenalty*wa + other.withDefaults().CorePenalty*wb) / tot
+		ph.HeatFrac = (ph.withDefaults().HeatFrac*wa + other.withDefaults().HeatFrac*wb) / tot
+	}
+	ph.FlopsScalar += other.FlopsScalar
+	ph.FlopsSIMD += other.FlopsSIMD
+	ph.BytesL2 += other.BytesL2
+	ph.BytesL3 += other.BytesL3
+	ph.BytesMem += other.BytesMem
+	return ph
+}
+
+func (ph Phase) weight() float64 {
+	return ph.Flops() + ph.BytesL2 + ph.BytesL3 + ph.BytesMem
+}
+
+// CacheFit computes the fraction of nominally-memory traffic that still
+// reaches DRAM when a rank's working set ws must live in cache of capacity
+// cache (per-rank share of L2+L3). The transition is smooth: below
+// fitLo x cache the cacheable traffic is fully absorbed, above fitHi x
+// cache nothing is absorbed.
+//
+// This single function drives the paper's cache effects: weather's
+// superlinear scaling (Case A), declining per-node memory volume with
+// rising rank counts (Fig. 5c,f), and the earlier onset on Sapphire Rapids
+// with its larger per-core caches.
+func CacheFit(ws, cache float64) float64 {
+	const fitLo, fitHi = 0.85, 3.5
+	if cache <= 0 {
+		return 1
+	}
+	x := ws / cache
+	switch {
+	case x <= fitLo:
+		return 0
+	case x >= fitHi:
+		return 1
+	default:
+		// Smoothstep between the two thresholds.
+		t := (x - fitLo) / (fitHi - fitLo)
+		return t * t * (3 - 2*t)
+	}
+}

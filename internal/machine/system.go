@@ -1,0 +1,193 @@
+package machine
+
+import (
+	"fmt"
+
+	"github.com/spechpc/spechpc-sim/internal/sim"
+)
+
+// System is the runtime instance of a cluster for one simulated job: it
+// owns the per-domain bandwidth resources and all performance/energy
+// accounting for a set of block-mapped MPI ranks.
+type System struct {
+	env   *sim.Env
+	spec  *ClusterSpec
+	ranks int
+	nodes int
+
+	memRes []*sim.PSResource // one per ccNUMA domain of allocated nodes
+	l3Res  []*sim.PSResource
+
+	rank []RankStats
+
+	finished bool
+	wall     float64
+}
+
+// RankStats accumulates raw counters for one rank. All quantities are
+// extensive (sums over the simulated run).
+type RankStats struct {
+	// Placement caches the rank's location.
+	Placement Placement
+
+	// FlopsScalar and FlopsSIMD count executed DP flops by instruction kind.
+	FlopsScalar float64
+	FlopsSIMD   float64
+
+	// BytesL2, BytesL3, BytesMem count data traffic at each level.
+	BytesL2  float64
+	BytesL3  float64
+	BytesMem float64
+
+	// TimeExec is in-core execution time; TimeStall is compute-phase time
+	// beyond the in-core time (waiting for shared L3/memory); TimeMPI is
+	// time spent blocked inside MPI calls.
+	TimeExec  float64
+	TimeStall float64
+	TimeMPI   float64
+
+	// EnergyDyn is the accumulated per-core dynamic energy (J), i.e.
+	// everything above the socket baseline attributable to this core.
+	EnergyDyn float64
+
+	// Finish is the virtual time the rank completed its program.
+	Finish float64
+}
+
+// NewSystem allocates a runtime for n block-mapped ranks on the cluster.
+// It panics if n exceeds the cluster capacity, which is a configuration
+// error the caller must prevent.
+func NewSystem(env *sim.Env, spec *ClusterSpec, n int) *System {
+	if n <= 0 {
+		panic("machine: NewSystem with no ranks")
+	}
+	if n > spec.MaxRanks() {
+		panic(fmt.Sprintf("machine: %d ranks exceed %s capacity %d", n, spec.Name, spec.MaxRanks()))
+	}
+	s := &System{env: env, spec: spec, ranks: n, nodes: spec.NodesFor(n)}
+	cpu := &spec.CPU
+	domains := s.nodes * cpu.DomainsPerNode()
+	s.memRes = make([]*sim.PSResource, domains)
+	s.l3Res = make([]*sim.PSResource, domains)
+	for d := 0; d < domains; d++ {
+		s.memRes[d] = sim.NewPSResource(env, fmt.Sprintf("mem-dom%d", d),
+			cpu.MemSaturatedPerDomain, cpu.MemPerCoreMax)
+		s.l3Res[d] = sim.NewPSResource(env, fmt.Sprintf("l3-dom%d", d),
+			cpu.L3BandwidthPerDomain, cpu.L3BandwidthPerCoreMax)
+	}
+	s.rank = make([]RankStats, n)
+	for r := range s.rank {
+		s.rank[r].Placement = spec.Place(r)
+	}
+	return s
+}
+
+// Env returns the simulation environment.
+func (s *System) Env() *sim.Env { return s.env }
+
+// Spec returns the cluster specification.
+func (s *System) Spec() *ClusterSpec { return s.spec }
+
+// Ranks returns the number of ranks in the job.
+func (s *System) Ranks() int { return s.ranks }
+
+// Nodes returns the number of allocated nodes.
+func (s *System) Nodes() int { return s.nodes }
+
+// Compute executes one compute phase for a rank, advancing virtual time
+// according to the ECM-style cost model: the in-core part (flop streams at
+// calibrated efficiency plus private L2 traffic, times the core penalty)
+// overlaps with shared L3 and DRAM transfers on the rank's ccNUMA domain.
+// The phase ends when the slowest of the three finishes.
+func (s *System) Compute(p *sim.Proc, rank int, ph Phase) {
+	ph = ph.withDefaults()
+	st := &s.rank[rank]
+	cpu := &s.spec.CPU
+	dom := st.Placement.GlobalDomain
+
+	tCore := ph.FlopsSIMD/(cpu.SIMDPeakPerCore()*ph.SIMDEff) +
+		ph.FlopsScalar/(cpu.ScalarPeakPerCore()*ph.ScalarEff)
+	// Irregular/gather-heavy work runs at the CPU's irregular-access
+	// efficiency; regular streams at nominal speed.
+	irrEff := cpu.IrregularAccessEff
+	if irrEff <= 0 {
+		irrEff = 1
+	}
+	tCore *= ph.IrregularFrac/irrEff + (1 - ph.IrregularFrac)
+	tL2 := ph.BytesL2 / cpu.L2BandwidthPerCore
+	tFixed := tCore*ph.CorePenalty + tL2
+
+	start := p.Now()
+	var l3Flow, memFlow *sim.Flow
+	if ph.BytesL3 > 0 {
+		l3Flow = s.l3Res[dom].StartFlow(ph.BytesL3, nil)
+	}
+	if ph.BytesMem > 0 {
+		memFlow = s.memRes[dom].StartFlow(ph.BytesMem, nil)
+	}
+	if tFixed > 0 {
+		p.Wait(tFixed)
+	}
+	if l3Flow != nil {
+		l3Flow.Await(p)
+	}
+	if memFlow != nil {
+		memFlow.Await(p)
+	}
+	dur := p.Now() - start
+	stall := dur - tFixed
+	if stall < 0 {
+		stall = 0
+	}
+
+	st.FlopsScalar += ph.FlopsScalar
+	st.FlopsSIMD += ph.FlopsSIMD
+	st.BytesL2 += ph.BytesL2
+	st.BytesL3 += ph.BytesL3
+	st.BytesMem += ph.BytesMem
+	st.TimeExec += tFixed
+	st.TimeStall += stall
+	st.EnergyDyn += ph.HeatFrac*cpu.CoreDynMaxPower*tFixed + cpu.CoreStallPower*stall
+}
+
+// AccountMPI charges dt seconds of MPI busy-wait time (and its power) to a
+// rank. The MPI layer calls this for every blocking interval.
+func (s *System) AccountMPI(rank int, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	st := &s.rank[rank]
+	st.TimeMPI += dt
+	st.EnergyDyn += s.spec.CPU.CoreMPIPower * dt
+}
+
+// RankFinished records the completion time of a rank's program.
+func (s *System) RankFinished(rank int, t float64) {
+	if t > s.rank[rank].Finish {
+		s.rank[rank].Finish = t
+	}
+	if t > s.wall {
+		s.wall = t
+	}
+}
+
+// Finish closes accounting; must be called after Env.Run returns.
+func (s *System) Finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	if s.wall == 0 {
+		s.wall = s.env.Now()
+	}
+}
+
+// Wall returns the job wall-clock (virtual) time: the latest rank finish.
+func (s *System) Wall() float64 { return s.wall }
+
+// RankStats returns a copy of the raw counters for one rank.
+func (s *System) RankStats(rank int) RankStats { return s.rank[rank] }
+
+// MemDomainResource exposes the memory PS resource of a global domain
+// (used by tests and ablation benches).
+func (s *System) MemDomainResource(d int) *sim.PSResource { return s.memRes[d] }

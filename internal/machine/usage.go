@@ -1,0 +1,172 @@
+package machine
+
+// Usage is the aggregated resource/energy record of one simulated job.
+// It is the raw material for all LIKWID/RAPL-style derived metrics in
+// package perf and for the figures of the paper.
+type Usage struct {
+	// Cluster is the cluster name; Ranks/Nodes the job geometry.
+	Cluster string
+	Ranks   int
+	Nodes   int
+
+	// Wall is the job wall-clock (virtual) time in seconds.
+	Wall float64
+
+	// Flop and traffic totals over all ranks.
+	FlopsScalar float64
+	FlopsSIMD   float64
+	BytesL2     float64
+	BytesL3     float64
+	BytesMem    float64
+
+	// Cumulative per-core time partition over all ranks (seconds).
+	TimeExec  float64
+	TimeStall float64
+	TimeMPI   float64
+
+	// ChipEnergy is package energy over all allocated sockets (J),
+	// including baseline; DRAMEnergy likewise for memory (J).
+	ChipEnergy float64
+	DRAMEnergy float64
+
+	// SocketChipPower is the average package power per allocated socket
+	// (W), after the TDP clamp.
+	SocketChipPower []float64
+	// DomainDRAMPower is the average DRAM power per allocated domain (W).
+	DomainDRAMPower []float64
+	// DomainBytesMem is the DRAM traffic per allocated domain (B).
+	DomainBytesMem []float64
+}
+
+// Usage aggregates the per-rank statistics into a job-level record,
+// applying the power model: per-socket package power is baseline plus
+// dynamic core power averaged over the wall time, clamped at the TDP cap;
+// DRAM energy is background power plus a per-byte cost of traffic.
+func (s *System) Usage() Usage {
+	s.Finish()
+	cpu := &s.spec.CPU
+	u := Usage{
+		Cluster: s.spec.Name,
+		Ranks:   s.ranks,
+		Nodes:   s.nodes,
+		Wall:    s.wall,
+	}
+	sockets := s.nodes * cpu.SocketsPerNode
+	domains := s.nodes * cpu.DomainsPerNode()
+	sockDyn := make([]float64, sockets)
+	u.DomainBytesMem = make([]float64, domains)
+
+	for r := range s.rank {
+		st := &s.rank[r]
+		u.FlopsScalar += st.FlopsScalar
+		u.FlopsSIMD += st.FlopsSIMD
+		u.BytesL2 += st.BytesL2
+		u.BytesL3 += st.BytesL3
+		u.BytesMem += st.BytesMem
+		u.TimeExec += st.TimeExec
+		u.TimeStall += st.TimeStall
+		u.TimeMPI += st.TimeMPI
+		sockDyn[st.Placement.GlobalSocket] += st.EnergyDyn
+		u.DomainBytesMem[st.Placement.GlobalDomain] += st.BytesMem
+	}
+
+	wall := s.wall
+	if wall <= 0 {
+		wall = 1e-12 // avoid division by zero for degenerate jobs
+	}
+	u.SocketChipPower = make([]float64, sockets)
+	pcap := cpu.TDPPerSocket * cpu.TDPCapFraction
+	for i := range sockDyn {
+		p := cpu.BasePowerPerSocket + sockDyn[i]/wall
+		if p > pcap {
+			p = pcap
+		}
+		u.SocketChipPower[i] = p
+		u.ChipEnergy += p * wall
+	}
+	u.DomainDRAMPower = make([]float64, domains)
+	for d := range u.DomainBytesMem {
+		p := cpu.DRAMIdlePerDomain + cpu.DRAMEnergyPerByte*u.DomainBytesMem[d]/wall
+		u.DomainDRAMPower[d] = p
+		u.DRAMEnergy += p * wall
+	}
+	return u
+}
+
+// Flops returns total DP flops.
+func (u Usage) Flops() float64 { return u.FlopsScalar + u.FlopsSIMD }
+
+// SIMDRatio returns the fraction of flops executed with SIMD instructions,
+// the paper's "vectorization ratio".
+func (u Usage) SIMDRatio() float64 {
+	f := u.Flops()
+	if f == 0 {
+		return 0
+	}
+	return u.FlopsSIMD / f
+}
+
+// PerfFlops returns job performance in flop/s.
+func (u Usage) PerfFlops() float64 { return u.Flops() / u.Wall }
+
+// PerfFlopsSIMD returns the SIMD-only performance in flop/s (the paper's
+// "AVX-DP" curves).
+func (u Usage) PerfFlopsSIMD() float64 { return u.FlopsSIMD / u.Wall }
+
+// MemBandwidth returns average memory bandwidth (B/s) over the job: the
+// paper's methodology of memory data volume over wall-clock time.
+func (u Usage) MemBandwidth() float64 { return u.BytesMem / u.Wall }
+
+// L3Bandwidth and L2Bandwidth return average cache bandwidths (B/s).
+func (u Usage) L3Bandwidth() float64 { return u.BytesL3 / u.Wall }
+
+// L2Bandwidth returns average L2 bandwidth (B/s).
+func (u Usage) L2Bandwidth() float64 { return u.BytesL2 / u.Wall }
+
+// ChipPower returns average package power summed over sockets (W).
+func (u Usage) ChipPower() float64 { return u.ChipEnergy / u.Wall }
+
+// DRAMPower returns average DRAM power summed over domains (W).
+func (u Usage) DRAMPower() float64 { return u.DRAMEnergy / u.Wall }
+
+// TotalPower returns chip+DRAM average power (W).
+func (u Usage) TotalPower() float64 { return u.ChipPower() + u.DRAMPower() }
+
+// TotalEnergy returns chip+DRAM energy (J).
+func (u Usage) TotalEnergy() float64 { return u.ChipEnergy + u.DRAMEnergy }
+
+// EDP returns the energy-delay product (J*s) of the job.
+func (u Usage) EDP() float64 { return u.TotalEnergy() * u.Wall }
+
+// MPIFraction returns the fraction of cumulative rank time spent in MPI.
+func (u Usage) MPIFraction() float64 {
+	tot := u.TimeExec + u.TimeStall + u.TimeMPI
+	if tot == 0 {
+		return 0
+	}
+	return u.TimeMPI / tot
+}
+
+// Scale multiplies all extensive quantities (time, flops, traffic, energy)
+// by f, leaving intensive ones (powers, ratios) unchanged. The SPEC
+// harness uses this to extrapolate from a simulated subset of iterations
+// to the full iteration count of the paper's workloads.
+func (u Usage) Scale(f float64) Usage {
+	u.Wall *= f
+	u.FlopsScalar *= f
+	u.FlopsSIMD *= f
+	u.BytesL2 *= f
+	u.BytesL3 *= f
+	u.BytesMem *= f
+	u.TimeExec *= f
+	u.TimeStall *= f
+	u.TimeMPI *= f
+	u.ChipEnergy *= f
+	u.DRAMEnergy *= f
+	scaled := make([]float64, len(u.DomainBytesMem))
+	for i, v := range u.DomainBytesMem {
+		scaled[i] = v * f
+	}
+	u.DomainBytesMem = scaled
+	return u
+}

@@ -1,0 +1,180 @@
+// Package mpi implements a simulated MPI runtime on top of the
+// discrete-event engine: ranks are sim processes, point-to-point messages
+// follow eager or rendezvous protocols over the netsim interconnect, and
+// collectives are built from the same point-to-point machinery with the
+// standard algorithms (dissemination barrier, recursive-doubling
+// allreduce, binomial trees, ring allgather).
+//
+// Because the protocol state machine is executed rather than approximated,
+// communication pathologies emerge mechanistically: the rendezvous
+// serialization chain of minisweep, barrier waiting behind a straggler in
+// lbm, and the log(P) cost growth of soma's large allreduces.
+//
+// The API mirrors the MPI subset the SPEChpc 2021 codes use. Payloads are
+// real []float64 slices (collectives really reduce them); ModelBytes
+// carries the paper-scale message size that drives the timing model, so
+// kernels can run scaled-down grids while communication costs stay at
+// paper scale.
+package mpi
+
+import (
+	"fmt"
+
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/netsim"
+	"github.com/spechpc/spechpc-sim/internal/sim"
+	"github.com/spechpc/spechpc-sim/internal/trace"
+)
+
+// Wildcards for Recv matching, and the tag space boundary: user tags must
+// stay below TagUserMax because collectives use the space above it.
+const (
+	AnySource = -1
+	AnyTag    = -1
+	// TagUserMax is the first tag reserved for internal collective use.
+	TagUserMax = 1 << 20
+)
+
+// Config describes one simulated MPI job.
+type Config struct {
+	// Cluster is the machine the job runs on.
+	Cluster *machine.ClusterSpec
+	// Net holds interconnect parameters; a zero value selects HDR100.
+	Net netsim.Spec
+	// Ranks is the number of MPI processes, block-mapped onto cores.
+	Ranks int
+	// Trace, if non-nil, receives per-rank timeline events.
+	Trace *trace.Recorder
+}
+
+// Result is the outcome of a simulated job.
+type Result struct {
+	// Usage holds the aggregated performance/energy record.
+	Usage machine.Usage
+	// Trace is the recorder passed in the config (nil if none).
+	Trace *trace.Recorder
+	// Wall is the job wall-clock virtual time in seconds.
+	Wall float64
+}
+
+// Job is the runtime state of a simulated MPI application.
+type Job struct {
+	env   *sim.Env
+	sys   *machine.System
+	net   *netsim.Network
+	rec   *trace.Recorder
+	ranks []*Rank
+}
+
+// Rank is one MPI process. All methods must be called from within the
+// rank's own body function.
+type Rank struct {
+	job   *Job
+	id    int
+	proc  *sim.Proc
+	place machine.Placement
+
+	unexpected []*envelope
+	posted     []*Request
+	collSeq    int
+	collKind   trace.Kind
+	inColl     bool
+}
+
+// Run simulates an MPI job: it spawns cfg.Ranks processes each executing
+// body, runs the event loop to completion, and returns the aggregated
+// usage. An error is returned for deadlocks or panics inside rank bodies.
+func Run(cfg Config, body func(r *Rank)) (Result, error) {
+	if cfg.Cluster == nil {
+		return Result{}, fmt.Errorf("mpi: config without cluster")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Ranks <= 0 {
+		return Result{}, fmt.Errorf("mpi: non-positive rank count %d", cfg.Ranks)
+	}
+	if cfg.Ranks > cfg.Cluster.MaxRanks() {
+		return Result{}, fmt.Errorf("mpi: %d ranks exceed %s capacity %d",
+			cfg.Ranks, cfg.Cluster.Name, cfg.Cluster.MaxRanks())
+	}
+	if cfg.Net.Name == "" {
+		cfg.Net = netsim.HDR100()
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	env := sim.NewEnv()
+	sys := machine.NewSystem(env, cfg.Cluster, cfg.Ranks)
+	net := netsim.New(env, cfg.Net, cfg.Cluster.NodesFor(cfg.Ranks))
+	job := &Job{env: env, sys: sys, net: net, rec: cfg.Trace}
+	job.ranks = make([]*Rank, cfg.Ranks)
+	for i := 0; i < cfg.Ranks; i++ {
+		r := &Rank{job: job, id: i, place: cfg.Cluster.Place(i)}
+		job.ranks[i] = r
+		r.proc = env.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			r.proc = p
+			body(r)
+			sys.RankFinished(r.id, p.Now())
+		})
+	}
+	if err := env.Run(); err != nil {
+		return Result{}, err
+	}
+	u := sys.Usage()
+	return Result{Usage: u, Trace: cfg.Trace, Wall: u.Wall}, nil
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the job.
+func (r *Rank) Size() int { return len(r.job.ranks) }
+
+// Place returns the rank's hardware placement.
+func (r *Rank) Place() machine.Placement { return r.place }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() float64 { return r.proc.Now() }
+
+// Cluster returns the cluster specification the job runs on.
+func (r *Rank) Cluster() *machine.ClusterSpec { return r.job.sys.Spec() }
+
+// Compute executes a compute phase on this rank's core through the
+// machine model and records it on the trace timeline.
+func (r *Rank) Compute(ph machine.Phase) {
+	t0 := r.proc.Now()
+	r.job.sys.Compute(r.proc, r.id, ph)
+	r.job.rec.Record(r.id, trace.KindCompute, t0, r.proc.Now(), -1)
+}
+
+// traceKind returns the kind to attribute an MPI interval to: the
+// surrounding collective if one is active, otherwise the point-to-point
+// default.
+func (r *Rank) traceKind(def trace.Kind) trace.Kind {
+	if r.inColl {
+		return r.collKind
+	}
+	return def
+}
+
+// mpiInterval charges [t0,now) as MPI time to power accounting and the
+// trace.
+func (r *Rank) mpiInterval(kind trace.Kind, t0 float64, peer int) {
+	now := r.proc.Now()
+	if now <= t0 {
+		return
+	}
+	r.job.sys.AccountMPI(r.id, now-t0)
+	r.job.rec.Record(r.id, kind, t0, now, peer)
+}
+
+// wake makes the rank re-check its blocking condition if it is parked.
+// Ranks in timed waits or running observe state changes on their own.
+func (j *Job) wake(rank int) {
+	p := j.ranks[rank].proc
+	if p.State() == sim.StateParked {
+		j.env.Wake(p)
+	}
+}

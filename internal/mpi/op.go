@@ -1,0 +1,57 @@
+package mpi
+
+import "fmt"
+
+// Op is a reduction operation for Allreduce/Reduce. Operations really
+// execute elementwise on the payload slices, so kernels get numerically
+// meaningful global results (residual norms, conserved sums).
+type Op int
+
+// Supported reduction operations.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+// String returns the MPI-style name of the operation.
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "MPI_SUM"
+	case OpMax:
+		return "MPI_MAX"
+	case OpMin:
+		return "MPI_MIN"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// apply reduces src into dst elementwise; the slices must have equal
+// length (a kernel bug otherwise, so it panics).
+func (o Op) apply(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mpi: reduction length mismatch %d vs %d", len(dst), len(src)))
+	}
+	switch o {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+	}
+}

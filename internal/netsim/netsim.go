@@ -1,0 +1,166 @@
+// Package netsim models the cluster interconnect: HDR100 InfiniBand links
+// in a non-blocking fat-tree between nodes, and shared-memory transport
+// within a node.
+//
+// The fat-tree is non-blocking (as on both paper clusters), so the only
+// contention points are node injection and ejection: each node has one NIC
+// modeled as a pair of processor-sharing resources (one per direction) at
+// the link bandwidth. Intra-node messages go through a per-node shared-
+// memory resource representing copy-in/copy-out bandwidth.
+//
+// Protocol decisions (eager vs rendezvous) belong to package mpi; netsim
+// only answers "how long does moving these bytes take, under current
+// contention".
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/spechpc/spechpc-sim/internal/sim"
+	"github.com/spechpc/spechpc-sim/internal/units"
+)
+
+// Spec holds interconnect parameters.
+type Spec struct {
+	// Name identifies the fabric, e.g. "HDR100 InfiniBand fat-tree".
+	Name string
+	// IntraNodeLatency and InterNodeLatency are one-way message latencies
+	// in seconds (startup cost of a zero-byte message).
+	IntraNodeLatency float64
+	InterNodeLatency float64
+	// LinkBandwidth is the per-direction bandwidth of one node link (B/s).
+	// HDR100: 100 Gbit/s = 12.5 GB/s raw.
+	LinkBandwidth float64
+	// ShmemBandwidthPerNode is the aggregate intra-node message-copy
+	// bandwidth (B/s); ShmemPerFlowMax caps a single intra-node transfer.
+	ShmemBandwidthPerNode float64
+	ShmemPerFlowMax       float64
+	// EagerThreshold is the message size (bytes) above which MPI switches
+	// to the rendezvous protocol. Exposed here because it is a fabric/MPI
+	// tuning parameter the ablation benches sweep.
+	EagerThreshold float64
+	// SendOverhead and RecvOverhead are per-message CPU costs in seconds
+	// (matching, header processing).
+	SendOverhead float64
+	RecvOverhead float64
+}
+
+// HDR100 returns the interconnect of both paper clusters: HDR100
+// InfiniBand (100 Gbit/s per link and direction) in a fat-tree.
+func HDR100() Spec {
+	return Spec{
+		Name:                  "HDR100 InfiniBand fat-tree",
+		IntraNodeLatency:      0.5e-6,
+		InterNodeLatency:      1.6e-6,
+		LinkBandwidth:         12.5 * units.G,
+		ShmemBandwidthPerNode: 220 * units.G, // copies run on-core: scales with node memory bandwidth
+		ShmemPerFlowMax:       10 * units.G,
+		EagerThreshold:        64 * units.KiB,
+		SendOverhead:          0.25e-6,
+		RecvOverhead:          0.25e-6,
+	}
+}
+
+// Validate checks the spec for inconsistencies.
+func (s Spec) Validate() error {
+	switch {
+	case s.LinkBandwidth <= 0 || s.ShmemBandwidthPerNode <= 0:
+		return fmt.Errorf("netsim: %s has non-positive bandwidth", s.Name)
+	case s.IntraNodeLatency < 0 || s.InterNodeLatency < 0:
+		return fmt.Errorf("netsim: %s has negative latency", s.Name)
+	case s.EagerThreshold < 0:
+		return fmt.Errorf("netsim: %s has negative eager threshold", s.Name)
+	}
+	return nil
+}
+
+// Network is the runtime interconnect instance for a job spanning a number
+// of nodes.
+type Network struct {
+	env   *sim.Env
+	spec  Spec
+	nodes int
+
+	nicOut []*sim.PSResource // injection per node
+	nicIn  []*sim.PSResource // ejection per node
+	shmem  []*sim.PSResource // intra-node copy bandwidth per node
+}
+
+// New creates a Network for the given node count.
+func New(env *sim.Env, spec Spec, nodes int) *Network {
+	if nodes <= 0 {
+		panic("netsim: network with no nodes")
+	}
+	n := &Network{env: env, spec: spec, nodes: nodes}
+	n.nicOut = make([]*sim.PSResource, nodes)
+	n.nicIn = make([]*sim.PSResource, nodes)
+	n.shmem = make([]*sim.PSResource, nodes)
+	for i := 0; i < nodes; i++ {
+		n.nicOut[i] = sim.NewPSResource(env, fmt.Sprintf("nic-out%d", i), spec.LinkBandwidth, 0)
+		n.nicIn[i] = sim.NewPSResource(env, fmt.Sprintf("nic-in%d", i), spec.LinkBandwidth, 0)
+		n.shmem[i] = sim.NewPSResource(env, fmt.Sprintf("shmem%d", i),
+			spec.ShmemBandwidthPerNode, spec.ShmemPerFlowMax)
+	}
+	return n
+}
+
+// Spec returns the interconnect parameters.
+func (n *Network) Spec() Spec { return n.spec }
+
+// Nodes returns the node count of the job.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Latency returns the one-way zero-byte latency between two nodes.
+func (n *Network) Latency(src, dst int) float64 {
+	if src == dst {
+		return n.spec.IntraNodeLatency
+	}
+	return n.spec.InterNodeLatency
+}
+
+// Eager reports whether a message of the given size uses the eager
+// protocol (true) or rendezvous (false).
+func (n *Network) Eager(bytes float64) bool { return bytes <= n.spec.EagerThreshold }
+
+// Transfer moves bytes from src node to dst node, blocking the calling
+// process for the wire time (excluding latency, which the caller pays
+// according to its protocol). Zero-byte transfers return immediately.
+func (n *Network) Transfer(p *sim.Proc, src, dst int, bytes float64) {
+	if bytes <= 0 {
+		return
+	}
+	if src == dst {
+		// Copy-in + copy-out through node shared memory.
+		n.shmem[src].Transfer(p, 2*bytes)
+		return
+	}
+	out := n.nicOut[src].StartFlow(bytes, nil)
+	in := n.nicIn[dst].StartFlow(bytes, nil)
+	out.Await(p)
+	in.Await(p)
+}
+
+// StartTransfer begins an asynchronous transfer and invokes done when the
+// bytes have fully arrived (used by the eager protocol, where the sender
+// does not block). The latency must be added by the caller via After.
+func (n *Network) StartTransfer(src, dst int, bytes float64, done func()) {
+	if bytes <= 0 {
+		if done != nil {
+			n.env.After(0, done)
+		}
+		return
+	}
+	if src == dst {
+		n.shmem[src].StartFlow(2*bytes, done)
+		return
+	}
+	remaining := 2
+	complete := func() {
+		remaining--
+		if remaining == 0 && done != nil {
+			done()
+		}
+	}
+	n.nicOut[src].StartFlow(bytes, complete)
+	n.nicIn[dst].StartFlow(bytes, complete)
+}

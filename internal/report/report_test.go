@@ -1,0 +1,109 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	var sb strings.Builder
+	if err := tb.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %q", out)
+	}
+	// Header and rows align: "value" column starts at the same offset.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "value") != strings.Index(row, "1") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestAddFloats(t *testing.T) {
+	tb := NewTable("t", "k", "v1", "v2")
+	tb.AddFloats("row", "%.1f", 1.25, 2.5)
+	if tb.Rows[0][1] != "1.2" && tb.Rows[0][1] != "1.3" {
+		t.Fatalf("formatted float = %q", tb.Rows[0][1])
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	p := NewPlot("speedup", "ranks", "speedup")
+	p.Add("lbm", []float64{1, 2, 4, 8}, []float64{1, 2, 3.5, 6})
+	p.Add("pot3d", []float64{1, 2, 4, 8}, []float64{1, 1.8, 2.1, 2.2})
+	var sb strings.Builder
+	if err := p.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## speedup", "o=lbm", "+=pot3d", "ranks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsRune(out, 'o') || !strings.ContainsRune(out, '+') {
+		t.Error("plot glyphs missing")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("empty", "x", "y")
+	var sb strings.Builder
+	if err := p.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Error("empty plot not handled")
+	}
+}
+
+func TestPlotLogX(t *testing.T) {
+	p := NewPlot("log", "ranks", "y")
+	p.LogX = true
+	p.Add("s", []float64{1, 10, 100, 1000}, []float64{1, 2, 3, 4})
+	var sb strings.Builder
+	if err := p.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1000") {
+		t.Errorf("log axis label wrong:\n%s", sb.String())
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var sb strings.Builder
+	err := SeriesCSV(&sb, "ranks", []Series{
+		{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "b", X: []float64{2, 3}, Y: []float64{200, 300}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "ranks,a,b\n1,10,\n2,20,200\n3,,300\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}

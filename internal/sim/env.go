@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+)
+
+// ProcState describes what a process is currently doing. It is exported so
+// that diagnostic output (e.g. deadlock reports) can name the state.
+type ProcState int
+
+// Process states.
+const (
+	// StateNew means the process was spawned but has not run yet.
+	StateNew ProcState = iota
+	// StateRunning means the process is the one currently executing.
+	StateRunning
+	// StateWaiting means the process sleeps until a scheduled resume event.
+	StateWaiting
+	// StateParked means the process blocks until another party wakes it.
+	StateParked
+	// StateDone means the process function returned.
+	StateDone
+)
+
+// String returns a human-readable state name.
+func (s ProcState) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunning:
+		return "running"
+	case StateWaiting:
+		return "waiting"
+	case StateParked:
+		return "parked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Env is a discrete-event simulation environment: a virtual clock, an event
+// queue, and a set of processes. An Env must be created with NewEnv. It is
+// not safe for concurrent use from multiple OS threads; all interaction
+// happens either from the goroutine that calls Run or from within process
+// functions (which the scheduler serializes).
+type Env struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	procs   []*Proc
+	current *Proc
+	yieldCh chan struct{}
+	failure error
+	stopped bool
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yieldCh: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() float64 { return e.now }
+
+// schedule inserts an event at absolute time t. Panics if t is in the past
+// or not a finite number, which always indicates a modeling bug.
+func (e *Env) schedule(t float64, fn func()) *Event {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: %v < now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.queue.push(ev)
+	return ev
+}
+
+// At schedules fn to run at absolute virtual time t. The callback runs on
+// the scheduler and must not block in virtual time; use Spawn for blocking
+// logic.
+func (e *Env) At(t float64, fn func()) *Event { return e.schedule(t, fn) }
+
+// After schedules fn to run d seconds after the current time.
+func (e *Env) After(d float64, fn func()) *Event { return e.schedule(e.now+d, fn) }
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// with other processes in virtual time. Process methods that block (Wait,
+// Park, resource acquisition) must only be called from within the process's
+// own function.
+type Proc struct {
+	env        *Env
+	id         int
+	name       string
+	state      ProcState
+	resume     chan struct{}
+	wakeTokens int
+	pending    *Event // scheduled resume while in StateWaiting
+	parkReason string
+	fn         func(*Proc)
+}
+
+// Spawn creates a process named name executing fn and schedules it to start
+// at the current virtual time. It returns immediately; fn runs once the
+// scheduler reaches the start event during Run.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		id:     len(e.procs),
+		name:   name,
+		state:  StateNew,
+		resume: make(chan struct{}),
+		fn:     fn,
+	}
+	e.procs = append(e.procs, p)
+	e.schedule(e.now, func() { e.startProc(p) })
+	return p
+}
+
+// startProc launches the process goroutine and immediately hands control to
+// it; the scheduler blocks until the process yields.
+func (e *Env) startProc(p *Proc) {
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if e.failure == nil {
+					e.failure = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+				}
+			}
+			p.state = StateDone
+			e.yieldCh <- struct{}{}
+		}()
+		p.fn(p)
+	}()
+	e.transferTo(p)
+}
+
+// transferTo hands control to p and blocks the scheduler goroutine until p
+// yields (parks, waits, or finishes).
+func (e *Env) transferTo(p *Proc) {
+	prev := e.current
+	e.current = p
+	p.state = StateRunning
+	p.resume <- struct{}{}
+	<-e.yieldCh
+	e.current = prev
+}
+
+// yield returns control from the running process to the scheduler and
+// blocks until the scheduler resumes this process.
+func (p *Proc) yield() {
+	p.env.yieldCh <- struct{}{}
+	<-p.resume
+	p.state = StateRunning
+}
+
+// mustBeCurrent panics unless p is the currently executing process; all
+// blocking primitives require this.
+func (p *Proc) mustBeCurrent(op string) {
+	if p.env.current != p {
+		panic(fmt.Sprintf("sim: %s called on process %q which is not running (state %v)", op, p.name, p.state))
+	}
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's spawn index, unique within its Env.
+func (p *Proc) ID() int { return p.id }
+
+// State returns the current scheduling state of the process.
+func (p *Proc) State() ProcState { return p.state }
+
+// Now returns the current virtual time; shorthand for p.Env().Now().
+func (p *Proc) Now() float64 { return p.env.now }
+
+// Wait suspends the process for d seconds of virtual time. A negative d is
+// treated as zero (the process yields and resumes at the same timestamp,
+// after already-scheduled events at that timestamp).
+func (p *Proc) Wait(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.WaitUntil(p.env.now + d)
+}
+
+// WaitUntil suspends the process until absolute virtual time t.
+func (p *Proc) WaitUntil(t float64) {
+	p.mustBeCurrent("WaitUntil")
+	e := p.env
+	if t < e.now {
+		t = e.now
+	}
+	p.state = StateWaiting
+	p.pending = e.schedule(t, func() {
+		p.pending = nil
+		e.transferTo(p)
+	})
+	p.yield()
+}
+
+// Park blocks the process until another party calls Wake or WakeAt for it.
+// If a wake token is already available (Wake happened first), Park consumes
+// it and returns immediately. The reason string appears in deadlock reports.
+func (p *Proc) Park(reason string) {
+	p.mustBeCurrent("Park")
+	if p.wakeTokens > 0 {
+		p.wakeTokens--
+		return
+	}
+	p.state = StateParked
+	p.parkReason = reason
+	p.yield()
+	p.parkReason = ""
+}
+
+// Wake makes a parked process runnable at the current virtual time. If the
+// process is not parked (yet, or anymore — something else may have woken it
+// between scheduling and firing), the wake is remembered as a token that
+// the next Park consumes; Park users re-check their condition in a loop, so
+// spurious tokens are harmless.
+func (e *Env) Wake(p *Proc) { e.WakeAt(e.now, p) }
+
+// WakeAt schedules a wake for process p at absolute virtual time t.
+func (e *Env) WakeAt(t float64, p *Proc) {
+	if p.state == StateDone {
+		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
+	}
+	e.schedule(t, func() {
+		switch p.state {
+		case StateParked:
+			e.transferTo(p)
+		case StateDone:
+			// Process finished between scheduling and firing; drop.
+		default:
+			// Running, in a timed wait, or not started: leave a token for
+			// the next Park.
+			p.wakeTokens++
+		}
+	})
+}
+
+// Run executes events until the queue is exhausted or a process panics.
+// It returns an error if a process panicked or if, after the queue drained,
+// some processes are still parked (a deadlock in the simulated system).
+func (e *Env) Run() error { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with timestamps <= t. The clock is left at the
+// time of the last executed event (or at t if no event remained).
+func (e *Env) RunUntil(t float64) error {
+	if e.stopped {
+		return fmt.Errorf("sim: environment already stopped")
+	}
+	for {
+		ev := e.queue.popLive()
+		if ev == nil {
+			break
+		}
+		if ev.time > t {
+			// Put it back for a later RunUntil call.
+			e.queue.push(ev)
+			if e.now < t && !math.IsInf(t, 1) {
+				e.now = t
+			}
+			return e.failure
+		}
+		e.now = ev.time
+		ev.fn()
+		if e.failure != nil {
+			e.stopped = true
+			return e.failure
+		}
+	}
+	if math.IsInf(t, 1) {
+		if err := e.deadlockError(); err != nil {
+			e.stopped = true
+			return err
+		}
+	}
+	return nil
+}
+
+// deadlockError reports parked processes after the event queue drained.
+func (e *Env) deadlockError() error {
+	var stuck []*Proc
+	for _, p := range e.procs {
+		if p.state == StateParked {
+			stuck = append(stuck, p)
+		}
+	}
+	if len(stuck) == 0 {
+		return nil
+	}
+	sort.Slice(stuck, func(i, j int) bool { return stuck[i].id < stuck[j].id })
+	msg := "sim: deadlock, parked processes:"
+	for _, p := range stuck {
+		msg += fmt.Sprintf(" %q(%s)", p.name, p.parkReason)
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// Procs returns all processes ever spawned in the environment.
+func (e *Env) Procs() []*Proc { return e.procs }

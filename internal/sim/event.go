@@ -1,0 +1,86 @@
+// Package sim implements a process-oriented discrete-event simulation
+// engine with a virtual clock.
+//
+// The engine is the substrate for the whole repository: MPI ranks are
+// simulated as processes (goroutines) that advance a shared virtual clock,
+// and hardware resources (memory-domain bandwidth, network links) are
+// modeled as processor-sharing resources in virtual time.
+//
+// Exactly one process executes at any instant; the scheduler hands control
+// to processes in (time, sequence) order, which makes every simulation run
+// fully deterministic. Wall-clock time plays no role.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled occurrence in virtual time. Events are created
+// through Env.At and Env.After or indirectly by process primitives such as
+// Proc.Wait. An Event can be cancelled before it fires.
+type Event struct {
+	time float64
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int // heap index, -1 once popped
+}
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (ev *Event) Time() float64 { return ev.time }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (ev *Event) Cancel() { ev.dead = true }
+
+// Cancelled reports whether the event was cancelled.
+func (ev *Event) Cancelled() bool { return ev.dead }
+
+// eventHeap is a min-heap ordered by (time, seq). The sequence number makes
+// the pop order — and therefore the entire simulation — deterministic when
+// several events share a timestamp.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// push schedules ev on the heap.
+func (h *eventHeap) push(ev *Event) { heap.Push(h, ev) }
+
+// popLive removes and returns the earliest non-cancelled event, or nil if
+// the heap holds no live events.
+func (h *eventHeap) popLive() *Event {
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(*Event)
+		if !ev.dead {
+			return ev
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package spec is the SPEChpc-like harness: it runs registered benchmark
+// kernels on simulated clusters, verifies their validation checks (as
+// SPEC's tooling verifies results), extrapolates the simulated iteration
+// subset to the full Table 1 workload, and produces the sweep series the
+// paper's figures are built from.
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+	"github.com/spechpc/spechpc-sim/internal/netsim"
+	"github.com/spechpc/spechpc-sim/internal/trace"
+)
+
+// RunSpec describes one benchmark execution.
+type RunSpec struct {
+	// Benchmark is the registered kernel name (e.g. "lbm").
+	Benchmark string
+	// Class selects the tiny or small workload.
+	Class bench.Class
+	// Cluster is the machine to run on.
+	Cluster *machine.ClusterSpec
+	// Ranks is the MPI process count.
+	Ranks int
+	// Options tunes simulated steps / real-array scaling (zero = kernel
+	// defaults).
+	Options bench.Options
+	// KeepTrace records the full per-rank event timeline (costly for
+	// large jobs; per-kind sums are always recorded).
+	KeepTrace bool
+	// Net overrides the interconnect (zero value = HDR100).
+	Net netsim.Spec
+}
+
+// RunResult is the outcome of one verified benchmark execution.
+type RunResult struct {
+	Spec RunSpec
+	// Usage is extrapolated to the full workload step count; RawUsage is
+	// the simulated subset as measured.
+	Usage    machine.Usage
+	RawUsage machine.Usage
+	// Report carries validation checks and step accounting from rank 0.
+	Report bench.RunReport
+	// Trace is the recorder (always non-nil).
+	Trace *trace.Recorder
+}
+
+// Run executes and verifies one benchmark.
+func Run(rs RunSpec) (RunResult, error) {
+	b, err := bench.Get(rs.Benchmark)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if rs.Cluster == nil {
+		return RunResult{}, fmt.Errorf("spec: run without cluster")
+	}
+	if rs.Ranks <= 0 {
+		return RunResult{}, fmt.Errorf("spec: non-positive rank count")
+	}
+	rec := trace.NewRecorder(rs.Ranks, rs.KeepTrace)
+	var rep bench.RunReport
+	var runErr error
+	res, err := mpi.Run(mpi.Config{
+		Cluster: rs.Cluster,
+		Ranks:   rs.Ranks,
+		Trace:   rec,
+		Net:     rs.Net,
+	}, func(r *mpi.Rank) {
+		rr, err := b.Run(r, rs.Class, rs.Options)
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+		if r.ID() == 0 {
+			rep = rr
+		}
+	})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("spec: %s/%s on %s with %d ranks: %w",
+			rs.Benchmark, rs.Class, rs.Cluster.Name, rs.Ranks, err)
+	}
+	if runErr != nil {
+		return RunResult{}, runErr
+	}
+	if !rep.Valid() {
+		return RunResult{}, fmt.Errorf("spec: %s/%s verification FAILED: %+v",
+			rs.Benchmark, rs.Class, rep.Checks)
+	}
+	return RunResult{
+		Spec:     rs,
+		Usage:    res.Usage.Scale(rep.RepFactor()),
+		RawUsage: res.Usage,
+		Report:   rep,
+		Trace:    rec,
+	}, nil
+}
+
+// NodePoints returns the rank counts used for node-level sweeps on a
+// cluster: every core count from 1 up to a full node would be expensive,
+// so the sweep uses 1, 2, 4, then steps of 1/6 domain, hitting every
+// domain and socket boundary exactly — enough resolution for the
+// saturation curves of Fig. 1-4.
+func NodePoints(cs *machine.ClusterSpec) []int {
+	cpd := cs.CPU.CoresPerDomain()
+	cpn := cs.CPU.CoresPerNode()
+	set := map[int]bool{1: true, 2: true, 4: true}
+	step := cpd / 3
+	if step < 1 {
+		step = 1
+	}
+	for p := step; p <= cpn; p += step {
+		set[p] = true
+	}
+	for d := 1; d*cpd <= cpn; d++ {
+		set[d*cpd] = true
+	}
+	points := make([]int, 0, len(set))
+	for p := range set {
+		points = append(points, p)
+	}
+	sort.Ints(points)
+	return points
+}
+
+// DomainPoints returns 1..cores-per-domain, the x axis of the
+// power-vs-speedup plots (Fig. 3a/3c).
+func DomainPoints(cs *machine.ClusterSpec) []int {
+	cpd := cs.CPU.CoresPerDomain()
+	points := make([]int, 0, cpd)
+	for p := 1; p <= cpd; p++ {
+		points = append(points, p)
+	}
+	return points
+}
+
+// MultiNodePoints returns full-node rank counts 1,2,4,8,...,MaxNodes plus
+// the largest even node counts, the x axis of Fig. 5-6.
+func MultiNodePoints(cs *machine.ClusterSpec) []int {
+	cpn := cs.CPU.CoresPerNode()
+	var points []int
+	for nodes := 1; nodes <= cs.MaxNodes; nodes *= 2 {
+		points = append(points, nodes*cpn)
+	}
+	last := points[len(points)-1]
+	if full := cs.MaxNodes * cpn; full > last {
+		points = append(points, full)
+	}
+	return points
+}
+
+// Sweep runs one benchmark over a list of rank counts and returns results
+// in order. Options apply to every point.
+func Sweep(base RunSpec, points []int) ([]RunResult, error) {
+	out := make([]RunResult, 0, len(points))
+	for _, p := range points {
+		rs := base
+		rs.Ranks = p
+		r, err := Run(rs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+)
+
+func TestAllNineBenchmarksRegistered(t *testing.T) {
+	names := realBenchmarks()
+	want := []string{"lbm", "soma", "tealeaf", "cloverleaf", "minisweep",
+		"pot3d", "sph-exa", "hpgmgfv", "weather"}
+	if len(names) != len(want) {
+		t.Fatalf("registered %d benchmarks (%v), want %d", len(names), names, len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("benchmark %q missing from registry", w)
+		}
+	}
+}
+
+func TestRunVerifiesAndExtrapolates(t *testing.T) {
+	res, err := Run(RunSpec{
+		Benchmark: "tealeaf",
+		Class:     bench.Tiny,
+		Cluster:   machine.ClusterA(),
+		Ranks:     4,
+		Options:   bench.Options{SimSteps: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Report.RepFactor()
+	if f <= 1 {
+		t.Fatalf("rep factor = %v, want > 1", f)
+	}
+	if got := res.Usage.Wall / res.RawUsage.Wall; got < f*0.99 || got > f*1.01 {
+		t.Fatalf("usage scaling = %v, want rep factor %v", got, f)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	_, err := Run(RunSpec{Benchmark: "nope", Cluster: machine.ClusterA(), Ranks: 1})
+	if err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestNodePointsCoverDomainsAndNode(t *testing.T) {
+	for _, cs := range []*machine.ClusterSpec{machine.ClusterA(), machine.ClusterB()} {
+		pts := NodePoints(cs)
+		if pts[0] != 1 {
+			t.Errorf("%s: first point %d, want 1", cs.Name, pts[0])
+		}
+		has := func(v int) bool {
+			for _, p := range pts {
+				if p == v {
+					return true
+				}
+			}
+			return false
+		}
+		cpd := cs.CPU.CoresPerDomain()
+		for d := 1; d*cpd <= cs.CPU.CoresPerNode(); d++ {
+			if !has(d * cpd) {
+				t.Errorf("%s: missing domain boundary %d", cs.Name, d*cpd)
+			}
+		}
+		if pts[len(pts)-1] != cs.CPU.CoresPerNode() {
+			t.Errorf("%s: last point %d, want full node", cs.Name, pts[len(pts)-1])
+		}
+	}
+}
+
+func TestMultiNodePoints(t *testing.T) {
+	a := machine.ClusterA()
+	pts := MultiNodePoints(a)
+	if pts[0] != 72 || pts[len(pts)-1] != 1152 {
+		t.Fatalf("multi-node points %v, want 72..1152", pts)
+	}
+}
+
+func TestSweepRunsAllPoints(t *testing.T) {
+	results, err := Sweep(RunSpec{
+		Benchmark: "cloverleaf",
+		Class:     bench.Tiny,
+		Cluster:   machine.ClusterA(),
+		Options:   bench.Options{SimSteps: 2},
+	}, []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, want := range []int{1, 4, 8} {
+		if results[i].Usage.Ranks != want {
+			t.Errorf("result %d has %d ranks, want %d", i, results[i].Usage.Ranks, want)
+		}
+	}
+	// Strong scaling: wall time decreases.
+	if results[2].Usage.Wall >= results[0].Usage.Wall {
+		t.Error("8-rank run not faster than 1-rank run")
+	}
+}
+
+func TestEveryBenchmarkRunsUnderHarness(t *testing.T) {
+	for _, name := range realBenchmarks() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(RunSpec{
+				Benchmark: name,
+				Class:     bench.Tiny,
+				Cluster:   machine.ClusterA(),
+				Ranks:     4,
+				Options:   bench.Options{SimSteps: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Usage.Flops() <= 0 || res.Usage.Wall <= 0 {
+				t.Fatalf("degenerate usage: %+v", res.Usage)
+			}
+		})
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	// The DES engine guarantees bit-identical results for identical
+	// specs — the property that makes every figure reproducible.
+	run := func() (float64, float64, float64) {
+		res, err := Run(RunSpec{
+			Benchmark: "minisweep",
+			Class:     bench.Tiny,
+			Cluster:   machine.ClusterB(),
+			Ranks:     26,
+			Options:   bench.Options{SimSteps: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Usage.Wall, res.Usage.ChipEnergy, res.Usage.TimeMPI
+	}
+	w1, e1, m1 := run()
+	w2, e2, m2 := run()
+	if w1 != w2 || e1 != e2 || m1 != m2 {
+		t.Fatalf("nondeterministic run: wall %v vs %v, energy %v vs %v, mpi %v vs %v",
+			w1, w2, e1, e2, m1, m2)
+	}
+}
+
+func TestVerificationFailureIsRefused(t *testing.T) {
+	// A benchmark whose checks fail must be rejected like SPEC's
+	// invalid-run handling. Exercised via a synthetic registry entry.
+	bench.Register(&bench.Benchmark{
+		ID:   99,
+		Name: "always-invalid",
+		Run: func(r *mpi.Rank, c bench.Class, o bench.Options) (bench.RunReport, error) {
+			rep := bench.RunReport{StepsModeled: 1, StepsSimulated: 1}
+			if r.ID() == 0 {
+				rep.Checks = []bench.Check{{Name: "synthetic", OK: false}}
+			}
+			return rep, nil
+		},
+	})
+	_, err := Run(RunSpec{
+		Benchmark: "always-invalid", Class: bench.Tiny,
+		Cluster: machine.ClusterA(), Ranks: 2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "verification FAILED") {
+		t.Fatalf("invalid run not refused: %v", err)
+	}
+}
+
+// realBenchmarks filters out synthetic registry entries other tests add.
+func realBenchmarks() []string {
+	var names []string
+	for _, n := range bench.Names() {
+		if n != "always-invalid" {
+			names = append(names, n)
+		}
+	}
+	return names
+}

@@ -1,0 +1,193 @@
+// Package trace records per-rank event timelines, playing the role the
+// Intel Trace Analyzer and Collector (ITAC) plays in the paper: it
+// attributes every interval of a rank's virtual time to computation or to
+// a specific MPI call class, so that serialization patterns (the
+// minisweep "ripple", the lbm straggler) become visible.
+package trace
+
+import "fmt"
+
+// Kind classifies what a rank is doing during an interval.
+type Kind int
+
+// Interval kinds. The MPI kinds correspond to the call classes the paper
+// discusses (MPI_Recv, MPI_Send, MPI_Wait, MPI_Barrier, MPI_Allreduce...).
+const (
+	KindCompute Kind = iota
+	KindSend
+	KindRecv
+	KindWait
+	KindSendrecv
+	KindBarrier
+	KindAllreduce
+	KindReduce
+	KindBcast
+	KindAllgather
+	KindAlltoall
+	numKinds
+)
+
+// String returns the display name of the kind, using MPI call names for
+// communication intervals.
+func (k Kind) String() string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "MPI_Send"
+	case KindRecv:
+		return "MPI_Recv"
+	case KindWait:
+		return "MPI_Wait"
+	case KindSendrecv:
+		return "MPI_Sendrecv"
+	case KindBarrier:
+		return "MPI_Barrier"
+	case KindAllreduce:
+		return "MPI_Allreduce"
+	case KindReduce:
+		return "MPI_Reduce"
+	case KindBcast:
+		return "MPI_Bcast"
+	case KindAllgather:
+		return "MPI_Allgather"
+	case KindAlltoall:
+		return "MPI_Alltoall"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds returns all kinds in display order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// Event is one attributed interval on one rank's timeline.
+type Event struct {
+	Rank  int
+	Kind  Kind
+	Start float64
+	End   float64
+	// Peer is the remote rank for point-to-point events, -1 otherwise.
+	Peer int
+}
+
+// Duration returns the interval length.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Recorder accumulates events. Per-kind time sums are always kept; full
+// event lists are kept only when created with keepEvents, since fine
+// timelines of large runs can be big.
+type Recorder struct {
+	ranks      int
+	keepEvents bool
+	events     []Event
+	sums       [][]float64 // [rank][kind]
+}
+
+// NewRecorder creates a recorder for the given number of ranks.
+func NewRecorder(ranks int, keepEvents bool) *Recorder {
+	r := &Recorder{ranks: ranks, keepEvents: keepEvents}
+	r.sums = make([][]float64, ranks)
+	for i := range r.sums {
+		r.sums[i] = make([]float64, numKinds)
+	}
+	return r
+}
+
+// Record attributes [t0, t1) on a rank to kind. Zero-length intervals are
+// dropped.
+func (r *Recorder) Record(rank int, k Kind, t0, t1 float64, peer int) {
+	if r == nil || t1 <= t0 {
+		return
+	}
+	r.sums[rank][k] += t1 - t0
+	if r.keepEvents {
+		r.events = append(r.events, Event{Rank: rank, Kind: k, Start: t0, End: t1, Peer: peer})
+	}
+}
+
+// Ranks returns the number of ranks.
+func (r *Recorder) Ranks() int { return r.ranks }
+
+// Sum returns the total time rank spent in kind.
+func (r *Recorder) Sum(rank int, k Kind) float64 { return r.sums[rank][k] }
+
+// RankTotal returns total attributed time of a rank.
+func (r *Recorder) RankTotal(rank int) float64 {
+	tot := 0.0
+	for _, v := range r.sums[rank] {
+		tot += v
+	}
+	return tot
+}
+
+// Fraction returns the share of rank's attributed time spent in kind.
+func (r *Recorder) Fraction(rank int, k Kind) float64 {
+	tot := r.RankTotal(rank)
+	if tot == 0 {
+		return 0
+	}
+	return r.sums[rank][k] / tot
+}
+
+// GlobalFraction returns the share of all ranks' attributed time spent in
+// kind — the run-level breakdown the paper quotes (e.g. "75% of the time
+// is spent in MPI_Recv").
+func (r *Recorder) GlobalFraction(k Kind) float64 {
+	var tot, part float64
+	for rank := 0; rank < r.ranks; rank++ {
+		tot += r.RankTotal(rank)
+		part += r.sums[rank][k]
+	}
+	if tot == 0 {
+		return 0
+	}
+	return part / tot
+}
+
+// MPIFraction returns the share of attributed time spent in any MPI kind.
+func (r *Recorder) MPIFraction() float64 {
+	var tot, mpi float64
+	for rank := 0; rank < r.ranks; rank++ {
+		tot += r.RankTotal(rank)
+		for k := KindSend; k < numKinds; k++ {
+			mpi += r.sums[rank][k]
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return mpi / tot
+}
+
+// Events returns the recorded event list (empty unless keepEvents).
+func (r *Recorder) Events() []Event { return r.events }
+
+// RankEvents returns the events of a single rank in time order.
+func (r *Recorder) RankEvents(rank int) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Rank == rank {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SlowestRank returns the rank with the largest compute time — used to
+// identify stragglers like lbm's slow process 70 in Fig. 2(h).
+func (r *Recorder) SlowestRank() int {
+	best, bestVal := 0, -1.0
+	for rank := 0; rank < r.ranks; rank++ {
+		if v := r.sums[rank][KindCompute]; v > bestVal {
+			best, bestVal = rank, v
+		}
+	}
+	return best
+}

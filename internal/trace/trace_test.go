@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKindNames(t *testing.T) {
+	if KindCompute.String() != "compute" {
+		t.Errorf("compute name = %q", KindCompute.String())
+	}
+	if KindRecv.String() != "MPI_Recv" || KindAllreduce.String() != "MPI_Allreduce" {
+		t.Error("MPI kind names wrong")
+	}
+	if len(Kinds()) != int(numKinds) {
+		t.Errorf("Kinds() length %d", len(Kinds()))
+	}
+}
+
+func TestSumsAndFractions(t *testing.T) {
+	r := NewRecorder(2, false)
+	r.Record(0, KindCompute, 0, 3, -1)
+	r.Record(0, KindRecv, 3, 4, 1)
+	r.Record(1, KindCompute, 0, 4, -1)
+
+	if got := r.Sum(0, KindCompute); got != 3 {
+		t.Errorf("sum = %v, want 3", got)
+	}
+	if got := r.RankTotal(0); got != 4 {
+		t.Errorf("rank total = %v, want 4", got)
+	}
+	if got := r.Fraction(0, KindRecv); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("fraction = %v, want 0.25", got)
+	}
+	// Global: 8 s total, 1 s MPI.
+	if got := r.GlobalFraction(KindRecv); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("global fraction = %v, want 0.125", got)
+	}
+	if got := r.MPIFraction(); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("mpi fraction = %v, want 0.125", got)
+	}
+}
+
+func TestZeroLengthIntervalsDropped(t *testing.T) {
+	r := NewRecorder(1, true)
+	r.Record(0, KindCompute, 5, 5, -1)
+	r.Record(0, KindCompute, 6, 5, -1) // negative: dropped too
+	if r.RankTotal(0) != 0 || len(r.Events()) != 0 {
+		t.Error("degenerate intervals recorded")
+	}
+}
+
+func TestEventRetention(t *testing.T) {
+	keep := NewRecorder(1, true)
+	keep.Record(0, KindSend, 0, 1, 7)
+	if len(keep.Events()) != 1 || keep.Events()[0].Peer != 7 {
+		t.Error("events not retained with keepEvents")
+	}
+	if keep.Events()[0].Duration() != 1 {
+		t.Error("duration wrong")
+	}
+	drop := NewRecorder(1, false)
+	drop.Record(0, KindSend, 0, 1, 7)
+	if len(drop.Events()) != 0 {
+		t.Error("events retained without keepEvents")
+	}
+	if drop.Sum(0, KindSend) != 1 {
+		t.Error("sums must accumulate regardless of retention")
+	}
+}
+
+func TestRankEventsFilters(t *testing.T) {
+	r := NewRecorder(3, true)
+	r.Record(0, KindCompute, 0, 1, -1)
+	r.Record(1, KindCompute, 0, 2, -1)
+	r.Record(1, KindSend, 2, 3, 0)
+	if got := len(r.RankEvents(1)); got != 2 {
+		t.Errorf("rank 1 events = %d, want 2", got)
+	}
+	if got := len(r.RankEvents(2)); got != 0 {
+		t.Errorf("rank 2 events = %d, want 0", got)
+	}
+}
+
+func TestSlowestRank(t *testing.T) {
+	r := NewRecorder(3, false)
+	r.Record(0, KindCompute, 0, 1, -1)
+	r.Record(1, KindCompute, 0, 5, -1)
+	r.Record(2, KindCompute, 0, 3, -1)
+	if got := r.SlowestRank(); got != 1 {
+		t.Errorf("slowest rank = %d, want 1", got)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, KindCompute, 0, 1, -1) // must not panic
+}

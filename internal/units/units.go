@@ -1,0 +1,108 @@
+// Package units provides byte/flop/power quantities and human-readable
+// formatting shared by the machine model and the reporting layer.
+package units
+
+import "fmt"
+
+// Binary byte sizes.
+const (
+	KiB = 1024.0
+	MiB = 1024.0 * KiB
+	GiB = 1024.0 * MiB
+	TiB = 1024.0 * GiB
+)
+
+// Decimal sizes/rates (used for bandwidths and flop rates, matching the
+// paper's GB/s and Gflop/s conventions).
+const (
+	K = 1e3
+	M = 1e6
+	G = 1e9
+	T = 1e12
+)
+
+// Bytes formats a byte count with a binary suffix.
+func Bytes(v float64) string {
+	switch {
+	case v >= TiB:
+		return fmt.Sprintf("%.2f TiB", v/TiB)
+	case v >= GiB:
+		return fmt.Sprintf("%.2f GiB", v/GiB)
+	case v >= MiB:
+		return fmt.Sprintf("%.2f MiB", v/MiB)
+	case v >= KiB:
+		return fmt.Sprintf("%.2f KiB", v/KiB)
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
+}
+
+// BytesDecimal formats a byte count with a decimal suffix (GB, TB), the
+// convention the paper uses for data volumes.
+func BytesDecimal(v float64) string {
+	switch {
+	case v >= T:
+		return fmt.Sprintf("%.2f TB", v/T)
+	case v >= G:
+		return fmt.Sprintf("%.2f GB", v/G)
+	case v >= M:
+		return fmt.Sprintf("%.2f MB", v/M)
+	case v >= K:
+		return fmt.Sprintf("%.2f kB", v/K)
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
+}
+
+// Bandwidth formats a rate in bytes/s as GB/s (decimal), the paper's unit.
+func Bandwidth(bytesPerSec float64) string {
+	return fmt.Sprintf("%.1f GB/s", bytesPerSec/G)
+}
+
+// FlopRate formats a flop/s rate with an appropriate decimal suffix.
+func FlopRate(flopsPerSec float64) string {
+	switch {
+	case flopsPerSec >= T:
+		return fmt.Sprintf("%.2f Tflop/s", flopsPerSec/T)
+	case flopsPerSec >= G:
+		return fmt.Sprintf("%.2f Gflop/s", flopsPerSec/G)
+	case flopsPerSec >= M:
+		return fmt.Sprintf("%.2f Mflop/s", flopsPerSec/M)
+	default:
+		return fmt.Sprintf("%.0f flop/s", flopsPerSec)
+	}
+}
+
+// Power formats watts.
+func Power(w float64) string {
+	if w >= 1000 {
+		return fmt.Sprintf("%.2f kW", w/1000)
+	}
+	return fmt.Sprintf("%.1f W", w)
+}
+
+// Energy formats joules.
+func Energy(j float64) string {
+	switch {
+	case j >= 1e6:
+		return fmt.Sprintf("%.3f MJ", j/1e6)
+	case j >= 1e3:
+		return fmt.Sprintf("%.2f kJ", j/1e3)
+	default:
+		return fmt.Sprintf("%.1f J", j)
+	}
+}
+
+// Seconds formats a duration in seconds with sensible precision.
+func Seconds(s float64) string {
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0f s", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2f ms", s*1e3)
+	default:
+		return fmt.Sprintf("%.1f µs", s*1e6)
+	}
+}

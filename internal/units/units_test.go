@@ -1,0 +1,77 @@
+package units
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBytesBinary(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{512, "512 B"},
+		{2 * KiB, "2.00 KiB"},
+		{1.25 * MiB, "1.25 MiB"},
+		{27 * MiB, "27.00 MiB"},
+		{3.5 * GiB, "3.50 GiB"},
+		{2 * TiB, "2.00 TiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.v); got != c.want {
+			t.Errorf("Bytes(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBytesDecimal(t *testing.T) {
+	if got := BytesDecimal(2.5 * G); got != "2.50 GB" {
+		t.Errorf("got %q", got)
+	}
+	if got := BytesDecimal(1.2 * T); got != "1.20 TB" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBandwidthAndFlops(t *testing.T) {
+	if got := Bandwidth(76.5 * G); got != "76.5 GB/s" {
+		t.Errorf("bandwidth %q", got)
+	}
+	if got := FlopRate(5.53 * T); !strings.Contains(got, "Tflop/s") {
+		t.Errorf("flop rate %q", got)
+	}
+	if got := FlopRate(400 * G); !strings.Contains(got, "Gflop/s") {
+		t.Errorf("flop rate %q", got)
+	}
+}
+
+func TestPowerEnergy(t *testing.T) {
+	if got := Power(244); got != "244.0 W" {
+		t.Errorf("power %q", got)
+	}
+	if got := Power(8000); got != "8.00 kW" {
+		t.Errorf("power %q", got)
+	}
+	if got := Energy(2.5e6); got != "2.500 MJ" {
+		t.Errorf("energy %q", got)
+	}
+	if got := Energy(1500); got != "1.50 kJ" {
+		t.Errorf("energy %q", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	for _, c := range []struct {
+		v    float64
+		want string
+	}{
+		{250, "250 s"},
+		{1.5, "1.50 s"},
+		{0.012, "12.00 ms"},
+		{3e-6, "3.0 µs"},
+	} {
+		if got := Seconds(c.v); got != c.want {
+			t.Errorf("Seconds(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
