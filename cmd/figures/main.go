@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	figures [-only fig1,fig5] [-out out] [-quick] [-list]
+//	figures [-only fig1,fig5] [-out out] [-quick] [-parallel 8] [-clusters ClusterA,ClusterB] [-list]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,6 +24,8 @@ func main() {
 	out := flag.String("out", "out", "directory for CSV artifacts (empty = none)")
 	quick := flag.Bool("quick", false, "reduced sweep resolution")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "campaign worker pool size")
+	clusters := flag.String("clusters", "", "comma-separated registered cluster names (default: the paper's two)")
 	flag.Parse()
 
 	all := figures.All()
@@ -40,7 +43,14 @@ func main() {
 		}
 	}
 
-	ctx := figures.NewContext(*out, *quick)
+	ctx := figures.NewContextParallel(*out, *quick, *parallel)
+	if *clusters != "" {
+		for _, n := range strings.Split(*clusters, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				ctx.Clusters = append(ctx.Clusters, n)
+			}
+		}
+	}
 	for _, e := range all {
 		if len(want) > 0 && !want[e.ID] {
 			continue

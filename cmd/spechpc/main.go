@@ -1,20 +1,28 @@
-// Command spechpc runs a single simulated SPEChpc 2021 benchmark on one
-// of the paper's clusters and reports SPEC-style verified results:
-// runtime, performance, bandwidth, power, energy, and the MPI share.
+// Command spechpc runs a simulated SPEChpc 2021 benchmark on one of the
+// registered clusters and reports SPEC-style verified results: runtime,
+// performance, bandwidth, power, energy, and the MPI share. A
+// comma-separated -ranks list runs a scaling sweep on the campaign
+// worker pool instead of a single job.
 //
 // Usage:
 //
 //	spechpc -list
+//	spechpc -clusters
 //	spechpc -bench tealeaf -cluster A -ranks 72 [-class tiny] [-steps 8] [-trace]
+//	spechpc -bench tealeaf -cluster A -ranks 1,2,4,9,18 -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
 	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
+	"github.com/spechpc/spechpc-sim/internal/campaign"
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/report"
 	"github.com/spechpc/spechpc-sim/internal/spec"
@@ -24,13 +32,20 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	listClusters := flag.Bool("clusters", false, "list registered clusters and exit")
 	name := flag.String("bench", "", "benchmark name (see -list)")
-	clusterFlag := flag.String("cluster", "A", "cluster: A (Ice Lake) or B (Sapphire Rapids)")
-	ranks := flag.Int("ranks", 0, "MPI ranks (default: one ccNUMA domain)")
+	clusterFlag := flag.String("cluster", "A", "registered cluster name (see -clusters; A and B are aliases)")
+	ranks := flag.String("ranks", "", "MPI ranks; a comma-separated list runs a sweep (default: one ccNUMA domain)")
 	classFlag := flag.String("class", "tiny", "workload class: tiny or small")
 	steps := flag.Int("steps", 0, "simulated steps (0 = kernel default)")
 	doTrace := flag.Bool("trace", false, "print the per-state time breakdown")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "campaign worker pool size (drives sweeps)")
 	flag.Parse()
+
+	if *listClusters {
+		fmt.Println("registered clusters:", strings.Join(machine.Names(), ", "))
+		return
+	}
 
 	if *list {
 		t := report.NewTable("SPEChpc 2021 benchmarks (simulated)",
@@ -52,34 +67,42 @@ func main() {
 		fatal(fmt.Errorf("missing -bench (try -list)"))
 	}
 
-	var cluster *machine.ClusterSpec
-	switch *clusterFlag {
-	case "A", "a":
-		cluster = machine.ClusterA()
-	case "B", "b":
-		cluster = machine.ClusterB()
-	default:
-		fatal(fmt.Errorf("unknown cluster %q (want A or B)", *clusterFlag))
+	cluster, err := machine.Get(*clusterFlag)
+	if err != nil {
+		fatal(err)
 	}
 	class := bench.Tiny
 	if *classFlag == "small" {
 		class = bench.Small
 	}
-	n := *ranks
-	if n <= 0 {
-		n = cluster.CPU.CoresPerDomain()
-	}
-
-	res, err := spec.Run(spec.RunSpec{
-		Benchmark: *name,
-		Class:     class,
-		Cluster:   cluster,
-		Ranks:     n,
-		Options:   bench.Options{SimSteps: *steps},
-	})
+	points, err := parseRanks(*ranks, cluster.CPU.CoresPerDomain())
 	if err != nil {
 		fatal(err)
 	}
+
+	engine := campaign.New(*parallel)
+	base := spec.RunSpec{
+		Benchmark: *name,
+		Class:     class,
+		Cluster:   cluster,
+		Options:   bench.Options{SimSteps: *steps},
+	}
+	if len(points) > 1 {
+		if *doTrace {
+			fmt.Fprintln(os.Stderr, "spechpc: -trace applies to single runs only; ignored for sweeps")
+		}
+		if err := runSweep(engine, base, points); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	base.Ranks = points[0]
+	outs := engine.Run([]spec.RunSpec{base})
+	if outs[0].Err != nil {
+		fatal(outs[0].Err)
+	}
+	res := outs[0].Result
 
 	u := res.Usage
 	t := report.NewTable(
@@ -117,6 +140,61 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// parseRanks turns the -ranks flag into sweep points. Empty — or a
+// single value <= 0, the historical int-flag default — selects one
+// ccNUMA domain; list entries must be positive.
+func parseRanks(s string, domainDefault int) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return []int{domainDefault}, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil && n <= 0 {
+		return []int{domainDefault}, nil
+	}
+	var points []int
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid -ranks value %q (want positive integers)", tok)
+		}
+		points = append(points, n)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("empty -ranks list")
+	}
+	return points, nil
+}
+
+// runSweep executes a rank sweep on the campaign pool and prints one
+// summary row per point.
+func runSweep(engine *campaign.Engine, base spec.RunSpec, points []int) error {
+	results, err := engine.Sweep(base, points)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("%s / %s on %s: %d-point sweep",
+			base.Benchmark, base.Class, base.Cluster.Name, len(points)),
+		"ranks", "nodes", "wall", "perf", "mem BW", "chip power", "energy", "MPI %")
+	for _, r := range results {
+		u := r.Usage
+		t.AddRow(
+			fmt.Sprintf("%d", u.Ranks),
+			fmt.Sprintf("%d", u.Nodes),
+			units.Seconds(u.Wall),
+			units.FlopRate(u.PerfFlops()),
+			units.Bandwidth(u.MemBandwidth()),
+			units.Power(u.ChipPower()),
+			units.Energy(u.TotalEnergy()),
+			fmt.Sprintf("%.1f", 100*u.MPIFraction()))
+	}
+	return t.Write(os.Stdout)
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/analysis"
 	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
 	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
+	"github.com/spechpc/spechpc-sim/internal/campaign"
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/report"
 	"github.com/spechpc/spechpc-sim/internal/spec"
@@ -19,7 +20,10 @@ import (
 )
 
 func main() {
-	for _, cluster := range []*machine.ClusterSpec{machine.ClusterA(), machine.ClusterB()} {
+	engine := campaign.New(0)
+	// machine.All returns every registered cluster — the paper's two
+	// systems here, plus anything added via machine.Register.
+	for _, cluster := range machine.All() {
 		fmt.Printf("=== %s (%s)\n", cluster.Name, cluster.CPU.Name)
 		fmt.Printf("baseline %s of %s TDP per socket\n",
 			units.Power(cluster.CPU.BasePowerPerSocket), units.Power(cluster.CPU.TDPPerSocket))
@@ -27,7 +31,7 @@ func main() {
 		// Sweep pot3d (memory-bound) over one ccNUMA domain and build
 		// the paper's Z-plot: energy vs speedup.
 		points := spec.DomainPoints(cluster)
-		results, err := spec.Sweep(spec.RunSpec{
+		results, err := engine.Sweep(spec.RunSpec{
 			Benchmark: "pot3d", Class: bench.Tiny, Cluster: cluster,
 		}, points)
 		if err != nil {

@@ -11,20 +11,24 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/analysis"
 	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
 	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
+	"github.com/spechpc/spechpc-sim/internal/campaign"
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/report"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 )
 
 func main() {
-	a := machine.ClusterA()
+	a := machine.MustGet("ClusterA")
+	// The campaign engine runs each sweep's points in parallel across
+	// host cores and memoizes every job.
+	engine := campaign.New(0)
 
 	// Node level: pot3d (strongly memory-bound) vs sph-exa (compute
 	// bound) across one node of ClusterA.
 	points := []int{1, 2, 4, 9, 18, 36, 54, 72}
 	plot := report.NewPlot("Node-level speedup on ClusterA (tiny)", "ranks", "speedup")
 	for _, name := range []string{"pot3d", "sph-exa"} {
-		results, err := spec.Sweep(spec.RunSpec{
+		results, err := engine.Sweep(spec.RunSpec{
 			Benchmark: name, Class: bench.Tiny, Cluster: a,
 		}, points)
 		if err != nil {
@@ -48,7 +52,7 @@ func main() {
 	// scaling cases using the small suite.
 	fmt.Println("Multi-node scaling cases (small suite, ClusterA):")
 	for _, name := range []string{"pot3d", "cloverleaf", "soma"} {
-		results, err := spec.Sweep(spec.RunSpec{
+		results, err := engine.Sweep(spec.RunSpec{
 			Benchmark: name, Class: bench.Small, Cluster: a,
 			Options: bench.Options{SimSteps: 1},
 		}, []int{72, 144, 288, 576})

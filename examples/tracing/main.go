@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	a := machine.ClusterA()
+	a := machine.MustGet("ClusterA")
 	t := report.NewTable("minisweep global time shares (tiny, ClusterA)",
 		"ranks", "compute %", "MPI_Recv %", "MPI_Send %", "wall s")
 	var walls []float64

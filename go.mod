@@ -1,0 +1,3 @@
+module github.com/spechpc/spechpc-sim
+
+go 1.24

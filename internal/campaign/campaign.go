@@ -1,0 +1,211 @@
+// Package campaign is the job-oriented experiment engine behind every
+// sweep in this repository. The paper's evaluation is built from large
+// campaigns — 9 kernels x 2 clusters x dozens of rank counts per figure —
+// and each simulated MPI job is an independent single-threaded
+// discrete-event run, so campaigns are embarrassingly parallel across
+// host cores.
+//
+// The engine takes a batch of spec.RunSpec jobs, deduplicates them under
+// a canonical job key, executes the unique jobs on a bounded worker pool,
+// memoizes every outcome for the lifetime of the engine (identical jobs
+// are simulated exactly once per process, however many figures ask for
+// them), and returns outcomes in deterministic input order with per-job
+// errors — one failing job never aborts its siblings.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+)
+
+// Outcome is the result of one job of a campaign.
+type Outcome struct {
+	// Job is the spec as submitted.
+	Job spec.RunSpec
+	// Result is valid iff Err is nil.
+	Result spec.RunResult
+	// Err is this job's failure (errors are memoized like results).
+	Err error
+}
+
+// Stats counts the engine's cache behaviour. A "miss" is a fresh
+// simulation; a "hit" is a job served from the memo, whether it was
+// cached by an earlier batch or is a duplicate within the current one.
+type Stats struct {
+	Jobs   int
+	Hits   int
+	Misses int
+}
+
+// entry is one memoized job. done is closed after res/err are written,
+// so waiters synchronize on the channel close (singleflight-style: a
+// batch that re-submits a job still in flight waits instead of re-running
+// it).
+type entry struct {
+	done chan struct{}
+	res  spec.RunResult
+	err  error
+}
+
+// Engine executes campaigns. The zero value is not usable; construct
+// with New. An Engine is safe for concurrent use.
+type Engine struct {
+	workers int
+	// sem bounds in-flight simulations engine-wide, so the worker cap
+	// holds even across concurrent Run calls.
+	sem chan struct{}
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	stats Stats
+}
+
+// New returns an engine running at most workers simulations at once.
+// workers <= 0 selects runtime.NumCPU().
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		cache:   map[string]*entry{},
+	}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Key returns the canonical identity of a job: two specs with equal keys
+// describe the same simulation and may share a memoized result. The
+// cluster is keyed by value, not by pointer, so two independently
+// resolved (or mutated) ClusterSpec instances only collide when they
+// describe identical hardware.
+func Key(rs spec.RunSpec) string {
+	var cl machine.ClusterSpec
+	if rs.Cluster != nil {
+		cl = *rs.Cluster
+	}
+	return fmt.Sprintf("%s|%v|%d|%+v|%t|%+v|%+v",
+		rs.Benchmark, rs.Class, rs.Ranks, rs.Options, rs.KeepTrace, rs.Net, cl)
+}
+
+// Run executes a campaign and returns one Outcome per job, in input
+// order. Jobs already memoized (or duplicated within the batch) are
+// served from cache; the rest run on the worker pool.
+func (e *Engine) Run(jobs []spec.RunSpec) []Outcome {
+	type task struct {
+		ent *entry
+		rs  spec.RunSpec
+	}
+	ents := make([]*entry, len(jobs))
+	var fresh []task
+	e.mu.Lock()
+	e.stats.Jobs += len(jobs)
+	for i, rs := range jobs {
+		k := Key(rs)
+		ent, ok := e.cache[k]
+		if ok {
+			e.stats.Hits++
+		} else {
+			ent = &entry{done: make(chan struct{})}
+			e.cache[k] = ent
+			fresh = append(fresh, task{ent, rs})
+			e.stats.Misses++
+		}
+		ents[i] = ent
+	}
+	e.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, t := range fresh {
+		wg.Add(1)
+		go func(t task) {
+			defer wg.Done()
+			e.sem <- struct{}{}
+			defer func() { <-e.sem }()
+			t.ent.res, t.ent.err = spec.Run(t.rs)
+			close(t.ent.done)
+		}(t)
+	}
+	wg.Wait()
+
+	out := make([]Outcome, len(jobs))
+	for i, rs := range jobs {
+		<-ents[i].done // entry may be in flight in a concurrent Run
+		out[i] = Outcome{Job: rs, Result: ents[i].res, Err: ents[i].err}
+	}
+	return out
+}
+
+// Sweep runs one benchmark over a list of rank counts through the engine
+// and returns results in point order — the parallel, cached counterpart
+// of spec.Sweep. The first job error aborts the sweep's result (the
+// remaining points still complete and stay memoized).
+func (e *Engine) Sweep(base spec.RunSpec, points []int) ([]spec.RunResult, error) {
+	jobs := make([]spec.RunSpec, len(points))
+	for i, p := range points {
+		rs := base
+		rs.Ranks = p
+		jobs[i] = rs
+	}
+	outs := e.Run(jobs)
+	results := make([]spec.RunResult, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return nil, o.Err
+		}
+		results[i] = o.Result
+	}
+	return results, nil
+}
+
+// SweepAll runs base over points for every named benchmark, submitting
+// the full cross product as one batch so jobs parallelize across kernels
+// and rank counts alike. Results are keyed by benchmark name.
+func (e *Engine) SweepAll(names []string, base spec.RunSpec, points []int) (map[string][]spec.RunResult, error) {
+	jobs := make([]spec.RunSpec, 0, len(names)*len(points))
+	for _, name := range names {
+		for _, p := range points {
+			rs := base
+			rs.Benchmark = name
+			rs.Ranks = p
+			jobs = append(jobs, rs)
+		}
+	}
+	outs := e.Run(jobs)
+	out := make(map[string][]spec.RunResult, len(names))
+	i := 0
+	for _, name := range names {
+		results := make([]spec.RunResult, len(points))
+		for j := range points {
+			o := outs[i]
+			i++
+			if o.Err != nil {
+				return nil, fmt.Errorf("campaign: sweep %s/%v on %s: %w",
+					name, base.Class, clusterName(base), o.Err)
+			}
+			results[j] = o.Result
+		}
+		out[name] = results
+	}
+	return out, nil
+}
+
+func clusterName(rs spec.RunSpec) string {
+	if rs.Cluster == nil {
+		return "<nil cluster>"
+	}
+	return rs.Cluster.Name
+}

@@ -1,0 +1,206 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+)
+
+// simCount counts fresh simulations of the synthetic "campaign-counter"
+// kernel (it runs with Ranks: 1, so one increment per simulation).
+var simCount atomic.Int64
+
+func init() {
+	bench.Register(&bench.Benchmark{
+		ID:   90,
+		Name: "campaign-counter",
+		Run: func(r *mpi.Rank, c bench.Class, o bench.Options) (bench.RunReport, error) {
+			simCount.Add(1)
+			r.Compute(machine.Phase{Name: "count", FlopsSIMD: 1e6, BytesMem: 1e4})
+			rep := bench.RunReport{StepsModeled: 1, StepsSimulated: 1}
+			if r.ID() == 0 {
+				rep.Checks = []bench.Check{{Name: "synthetic", Value: 0, OK: true}}
+			}
+			return rep, nil
+		},
+	})
+}
+
+func counterJob(ranks int) spec.RunSpec {
+	return spec.RunSpec{
+		Benchmark: "campaign-counter", Class: bench.Tiny,
+		Cluster: machine.MustGet("ClusterA"), Ranks: ranks,
+	}
+}
+
+// TestParallelMatchesSerial runs a campaign of >= 8 jobs on >= 4 workers
+// and requires results identical to the serial spec.Sweep baseline.
+func TestParallelMatchesSerial(t *testing.T) {
+	base := spec.RunSpec{
+		Benchmark: "tealeaf", Class: bench.Tiny,
+		Cluster: machine.MustGet("ClusterA"),
+		Options: bench.Options{SimSteps: 2},
+	}
+	points := []int{1, 2, 3, 4, 6, 8, 12, 16}
+
+	serial, err := spec.Sweep(base, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(4).Sweep(base, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("got %d results, want %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(parallel[i].Usage, serial[i].Usage) {
+			t.Errorf("point %d: parallel usage differs from serial:\n%+v\nvs\n%+v",
+				points[i], parallel[i].Usage, serial[i].Usage)
+		}
+		if !reflect.DeepEqual(parallel[i].RawUsage, serial[i].RawUsage) {
+			t.Errorf("point %d: raw usage differs", points[i])
+		}
+		if !reflect.DeepEqual(parallel[i].Report, serial[i].Report) {
+			t.Errorf("point %d: report differs", points[i])
+		}
+	}
+}
+
+// TestCacheSkipsResimulation proves memoized jobs are not re-simulated:
+// the synthetic kernel's global counter advances once per unique job no
+// matter how many times the job is submitted.
+func TestCacheSkipsResimulation(t *testing.T) {
+	e := New(2)
+	before := simCount.Load()
+
+	// Three submissions of the same job in one batch plus one distinct job.
+	outs := e.Run([]spec.RunSpec{counterJob(1), counterJob(1), counterJob(1), counterJob(2)})
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+	}
+	// A second batch resubmitting both jobs.
+	outs2 := e.Run([]spec.RunSpec{counterJob(1), counterJob(2)})
+
+	// 1-rank job simulated once (1 rank) + 2-rank job once (2 ranks).
+	if got := simCount.Load() - before; got != 3 {
+		t.Errorf("kernel executed on %d ranks total, want 3 (one simulation per unique job)", got)
+	}
+	st := e.Stats()
+	if st.Jobs != 6 || st.Misses != 2 || st.Hits != 4 {
+		t.Errorf("stats = %+v, want {Jobs:6 Hits:4 Misses:2}", st)
+	}
+	if !reflect.DeepEqual(outs[0].Result.Usage, outs2[0].Result.Usage) {
+		t.Error("cached result differs from original")
+	}
+}
+
+// TestPerJobErrorsDoNotAbortSiblings mixes failing jobs into a batch and
+// requires every sibling to complete.
+func TestPerJobErrorsDoNotAbortSiblings(t *testing.T) {
+	e := New(4)
+	outs := e.Run([]spec.RunSpec{
+		counterJob(1),
+		{Benchmark: "no-such-kernel", Class: bench.Tiny, Cluster: machine.MustGet("ClusterA"), Ranks: 1},
+		counterJob(2),
+		{Benchmark: "campaign-counter", Class: bench.Tiny, Ranks: 1}, // nil cluster
+	})
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Errorf("good jobs failed: %v, %v", outs[0].Err, outs[2].Err)
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "unknown benchmark") {
+		t.Errorf("unknown kernel not reported: %v", outs[1].Err)
+	}
+	if outs[3].Err == nil || !strings.Contains(outs[3].Err.Error(), "without cluster") {
+		t.Errorf("nil cluster not reported: %v", outs[3].Err)
+	}
+	// Errors are memoized too.
+	st := e.Stats()
+	outs2 := e.Run([]spec.RunSpec{outs[1].Job})
+	if outs2[0].Err == nil {
+		t.Error("memoized error lost")
+	}
+	if e.Stats().Misses != st.Misses {
+		t.Error("failed job re-simulated instead of served from cache")
+	}
+}
+
+// TestOutcomesInInputOrder submits jobs in shuffled rank order and
+// requires outcomes to line up with the inputs.
+func TestOutcomesInInputOrder(t *testing.T) {
+	ranks := []int{4, 1, 3, 1, 2, 4}
+	jobs := make([]spec.RunSpec, len(ranks))
+	for i, r := range ranks {
+		jobs[i] = counterJob(r)
+	}
+	outs := New(3).Run(jobs)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if o.Result.Usage.Ranks != ranks[i] {
+			t.Errorf("outcome %d has %d ranks, want %d", i, o.Result.Usage.Ranks, ranks[i])
+		}
+		if o.Job.Ranks != ranks[i] {
+			t.Errorf("outcome %d echoes job with %d ranks, want %d", i, o.Job.Ranks, ranks[i])
+		}
+	}
+}
+
+// TestKeyDistinguishesClustersByValue checks the cache key reflects the
+// cluster hardware, not the pointer identity, so mutated cluster copies
+// (ablation studies) never collide with the registered presets.
+func TestKeyDistinguishesClustersByValue(t *testing.T) {
+	a1, a2 := machine.MustGet("ClusterA"), machine.MustGet("ClusterA")
+	j1, j2 := counterJob(1), counterJob(1)
+	j1.Cluster, j2.Cluster = a1, a2
+	if Key(j1) != Key(j2) {
+		t.Error("identical hardware on distinct pointers produced distinct keys")
+	}
+	a2.CPU.MemSaturatedPerDomain *= 2
+	if Key(j1) == Key(j2) {
+		t.Error("mutated cluster spec shares a key with the preset")
+	}
+	j3 := j1
+	j3.Options = bench.Options{SimSteps: 7}
+	if Key(j1) == Key(j3) {
+		t.Error("different options share a key")
+	}
+}
+
+// TestSweepAllCoversCrossProduct checks the batched multi-kernel sweep
+// returns every (kernel, point) result in order.
+func TestSweepAllCoversCrossProduct(t *testing.T) {
+	e := New(4)
+	names := []string{"campaign-counter", "tealeaf"}
+	points := []int{1, 2}
+	out, err := e.SweepAll(names, spec.RunSpec{
+		Class:   bench.Tiny,
+		Cluster: machine.MustGet("ClusterA"),
+		Options: bench.Options{SimSteps: 1},
+	}, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		res, ok := out[name]
+		if !ok || len(res) != len(points) {
+			t.Fatalf("missing or short sweep for %s: %v", name, res)
+		}
+		for i, p := range points {
+			if res[i].Usage.Ranks != p {
+				t.Errorf("%s point %d has %d ranks, want %d", name, i, res[i].Usage.Ranks, p)
+			}
+		}
+	}
+}

@@ -6,23 +6,29 @@
 // Each experiment renders ASCII tables/plots to the context writer and
 // CSV files into the output directory. cmd/figures is the command-line
 // front end; the root-level benchmark harness drives the same functions.
+//
+// All simulations go through one campaign engine per context, so jobs
+// run in parallel on the host and every (benchmark, cluster, class,
+// ranks) point is simulated at most once per process no matter how many
+// experiments ask for it (Fig. 5, Fig. 6, and the scaling-case table all
+// share the multi-node sweeps).
 package figures
 
 import (
-	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
 	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
 	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite" // register all nine kernels
+	"github.com/spechpc/spechpc-sim/internal/campaign"
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/report"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 )
 
-// Context carries experiment settings and a sweep cache so experiments
-// sharing data (Fig. 1-4 all use the node sweeps) run each job once.
+// Context carries experiment settings and the campaign engine all
+// experiments share.
 type Context struct {
 	// OutDir receives CSV artifacts ("" = no files).
 	OutDir string
@@ -30,13 +36,29 @@ type Context struct {
 	Quick bool
 	// W receives tables and ASCII plots (default os.Stdout).
 	W io.Writer
-
-	cache map[string][]spec.RunResult
+	// Clusters names the registered clusters the experiments run on;
+	// empty means the paper's two systems.
+	Clusters []string
+	// Engine executes and memoizes every simulation (nil = a fresh
+	// engine sized to the host core count).
+	Engine *campaign.Engine
 }
 
-// NewContext creates a context writing to stdout.
+// NewContext creates a context writing to stdout with a host-sized
+// worker pool.
 func NewContext(outDir string, quick bool) *Context {
-	return &Context{OutDir: outDir, Quick: quick, W: os.Stdout, cache: map[string][]spec.RunResult{}}
+	return NewContextParallel(outDir, quick, 0)
+}
+
+// NewContextParallel creates a context whose campaign engine runs at
+// most workers simulations at once (<= 0 = host core count).
+func NewContextParallel(outDir string, quick bool, workers int) *Context {
+	return &Context{
+		OutDir: outDir,
+		Quick:  quick,
+		W:      os.Stdout,
+		Engine: campaign.New(workers),
+	}
 }
 
 func (ctx *Context) out() io.Writer {
@@ -44,6 +66,37 @@ func (ctx *Context) out() io.Writer {
 		return os.Stdout
 	}
 	return ctx.W
+}
+
+func (ctx *Context) engine() *campaign.Engine {
+	if ctx.Engine == nil {
+		ctx.Engine = campaign.New(0)
+	}
+	return ctx.Engine
+}
+
+// clusterSpecs resolves the context's cluster names through the machine
+// registry.
+func (ctx *Context) clusterSpecs() ([]*machine.ClusterSpec, error) {
+	names := ctx.Clusters
+	if len(names) == 0 {
+		names = []string{"ClusterA", "ClusterB"}
+	}
+	out := make([]*machine.ClusterSpec, 0, len(names))
+	for _, n := range names {
+		cs, err := machine.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// paperCluster resolves one of the paper's named systems for artifacts
+// pinned to a specific machine (insets, calibration tables).
+func paperCluster(name string) (*machine.ClusterSpec, error) {
+	return machine.Get(name)
 }
 
 // saveCSV writes a table as CSV into OutDir.
@@ -107,27 +160,39 @@ func (ctx *Context) multiPoints(cs *machine.ClusterSpec) []int {
 	return []int{cpn, 2 * cpn, 4 * cpn}
 }
 
-// sweep runs (or retrieves from cache) a benchmark sweep.
-func (ctx *Context) sweep(cs *machine.ClusterSpec, benchName string, class bench.Class, points []int) ([]spec.RunResult, error) {
-	key := fmt.Sprintf("%s|%s|%v|%v", cs.Name, benchName, class, points)
-	if r, ok := ctx.cache[key]; ok {
-		return r, nil
-	}
-	steps := 0 // kernel default
+// steps returns the per-kernel simulated step override.
+func (ctx *Context) steps() int {
 	if ctx.Quick {
-		steps = 1
+		return 1
 	}
-	results, err := spec.Sweep(spec.RunSpec{
+	return 0 // kernel default
+}
+
+// sweep runs one benchmark sweep through the campaign engine.
+func (ctx *Context) sweep(cs *machine.ClusterSpec, benchName string, class bench.Class, points []int) ([]spec.RunResult, error) {
+	return ctx.engine().Sweep(spec.RunSpec{
 		Benchmark: benchName,
 		Class:     class,
 		Cluster:   cs,
-		Options:   bench.Options{SimSteps: steps},
+		Options:   bench.Options{SimSteps: ctx.steps()},
 	}, points)
-	if err != nil {
-		return nil, err
-	}
-	ctx.cache[key] = results
-	return results, nil
+}
+
+// sweepAll runs one class sweep for every registered benchmark as a
+// single campaign batch, so jobs parallelize across kernels and rank
+// counts alike.
+func (ctx *Context) sweepAll(cs *machine.ClusterSpec, class bench.Class, points []int) (map[string][]spec.RunResult, error) {
+	return ctx.engine().SweepAll(bench.Names(), spec.RunSpec{
+		Class:   class,
+		Cluster: cs,
+		Options: bench.Options{SimSteps: ctx.steps()},
+	}, points)
+}
+
+// run executes single jobs through the engine (memoized like sweeps).
+func (ctx *Context) run(rs spec.RunSpec) (spec.RunResult, error) {
+	out := ctx.engine().Run([]spec.RunSpec{rs})
+	return out[0].Result, out[0].Err
 }
 
 func dedupSorted(v []int) []int {

@@ -58,8 +58,16 @@ func TestTextTables(t *testing.T) {
 	if err := TextEfficiency(ctx); err != nil {
 		t.Fatal(err)
 	}
+	// TextAcceleration draws from the same node sweeps TextEfficiency
+	// already paid for; the campaign memo must serve it without any
+	// fresh simulation.
+	afterEff := ctx.Engine.Stats()
 	if err := TextAcceleration(ctx); err != nil {
 		t.Fatal(err)
+	}
+	if got := ctx.Engine.Stats(); got.Misses != afterEff.Misses {
+		t.Errorf("TextAcceleration re-simulated node sweeps: misses %d -> %d",
+			afterEff.Misses, got.Misses)
 	}
 	if err := TextSIMD(ctx); err != nil {
 		t.Fatal(err)
@@ -124,16 +132,32 @@ func TestFig3And4(t *testing.T) {
 	}
 }
 
+// TestFig5CasesFig6 also pins the campaign-cache guarantee: Fig5 pays
+// for the multi-node sweeps once, and TextCases and Fig6 are then served
+// entirely from the memo — each (benchmark, cluster, class, ranks) job
+// simulates at most once per process.
 func TestFig5CasesFig6(t *testing.T) {
 	ctx, sb, dir := quickCtx(t)
 	if err := Fig5(ctx); err != nil {
 		t.Fatal(err)
+	}
+	after5 := ctx.Engine.Stats()
+	if after5.Misses == 0 {
+		t.Fatal("Fig5 simulated nothing")
 	}
 	if err := TextCases(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if err := Fig6(ctx); err != nil {
 		t.Fatal(err)
+	}
+	final := ctx.Engine.Stats()
+	if final.Misses != after5.Misses {
+		t.Errorf("TextCases/Fig6 re-simulated jobs: misses %d -> %d",
+			after5.Misses, final.Misses)
+	}
+	if final.Hits <= after5.Hits {
+		t.Errorf("no cache hits recorded across experiments: %+v", final)
 	}
 	out := sb.String()
 	if !strings.Contains(out, "scaling cases") || !strings.Contains(out, "total power") {

@@ -10,16 +10,14 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/spec"
 )
 
-// multiSweepAll runs the small-suite multi-node sweep for every benchmark.
+// multiSweepAll runs the small-suite multi-node sweep for every benchmark
+// as one parallel campaign batch. The engine memoizes every point, so
+// Fig5, Fig6, and the scaling-case table simulate each (benchmark,
+// cluster, ranks) job at most once per process.
 func (ctx *Context) multiSweepAll(cs *machine.ClusterSpec) (map[string][]spec.RunResult, error) {
-	points := ctx.multiPoints(cs)
-	out := make(map[string][]spec.RunResult, 9)
-	for _, name := range bench.Names() {
-		res, err := ctx.sweep(cs, name, bench.Small, points)
-		if err != nil {
-			return nil, fmt.Errorf("multi-node sweep %s on %s: %w", name, cs.Name, err)
-		}
-		out[name] = res
+	out, err := ctx.sweepAll(cs, bench.Small, ctx.multiPoints(cs))
+	if err != nil {
+		return nil, fmt.Errorf("multi-node sweep on %s: %w", cs.Name, err)
 	}
 	return out, nil
 }
@@ -27,7 +25,11 @@ func (ctx *Context) multiSweepAll(cs *machine.ClusterSpec) (map[string][]spec.Ru
 // Fig5 renders multi-node speedup, per-node memory bandwidth, and
 // aggregate memory volume for the small suite on both clusters.
 func Fig5(ctx *Context) error {
-	for _, cs := range []*machine.ClusterSpec{machine.ClusterA(), machine.ClusterB()} {
+	clusters, err := ctx.clusterSpecs()
+	if err != nil {
+		return err
+	}
+	for _, cs := range clusters {
 		sweeps, err := ctx.multiSweepAll(cs)
 		if err != nil {
 			return err
@@ -98,11 +100,19 @@ func TextCases(ctx *Context) error {
 		"sph-exa":    {"poor", "poor"},
 		"minisweep":  {"poor", "poor"},
 	}
-	sweepsA, err := ctx.multiSweepAll(machine.ClusterA())
+	a, err := paperCluster("ClusterA")
 	if err != nil {
 		return err
 	}
-	sweepsB, err := ctx.multiSweepAll(machine.ClusterB())
+	b, err := paperCluster("ClusterB")
+	if err != nil {
+		return err
+	}
+	sweepsA, err := ctx.multiSweepAll(a)
+	if err != nil {
+		return err
+	}
+	sweepsB, err := ctx.multiSweepAll(b)
 	if err != nil {
 		return err
 	}
@@ -120,7 +130,11 @@ func TextCases(ctx *Context) error {
 
 // Fig6 renders multi-node total power and energy for the small suite.
 func Fig6(ctx *Context) error {
-	for _, cs := range []*machine.ClusterSpec{machine.ClusterA(), machine.ClusterB()} {
+	clusters, err := ctx.clusterSpecs()
+	if err != nil {
+		return err
+	}
+	for _, cs := range clusters {
 		sweeps, err := ctx.multiSweepAll(cs)
 		if err != nil {
 			return err

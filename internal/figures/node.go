@@ -24,16 +24,11 @@ func splitByMemoryBound() (memBound, nonMemBound []string) {
 }
 
 // nodeSweepAll runs the tiny-suite node sweep for every benchmark on one
-// cluster.
+// cluster as a single parallel campaign batch.
 func (ctx *Context) nodeSweepAll(cs *machine.ClusterSpec) (map[string][]spec.RunResult, error) {
-	points := ctx.nodePoints(cs)
-	out := make(map[string][]spec.RunResult, 9)
-	for _, name := range bench.Names() {
-		res, err := ctx.sweep(cs, name, bench.Tiny, points)
-		if err != nil {
-			return nil, fmt.Errorf("node sweep %s on %s: %w", name, cs.Name, err)
-		}
-		out[name] = res
+	out, err := ctx.sweepAll(cs, bench.Tiny, ctx.nodePoints(cs))
+	if err != nil {
+		return nil, fmt.Errorf("node sweep on %s: %w", cs.Name, err)
 	}
 	return out, nil
 }
@@ -41,7 +36,11 @@ func (ctx *Context) nodeSweepAll(cs *machine.ClusterSpec) (map[string][]spec.Run
 // Fig1 renders node-level speedup and total-vs-AVX performance for both
 // clusters (Fig. 1a-f).
 func Fig1(ctx *Context) error {
-	for _, cs := range []*machine.ClusterSpec{machine.ClusterA(), machine.ClusterB()} {
+	clusters, err := ctx.clusterSpecs()
+	if err != nil {
+		return err
+	}
+	for _, cs := range clusters {
 		sweeps, err := ctx.nodeSweepAll(cs)
 		if err != nil {
 			return err
@@ -110,7 +109,11 @@ func Fig1(ctx *Context) error {
 func TextEfficiency(ctx *Context) error {
 	t := report.NewTable("Sect. 4.1.1: parallel efficiency %, domain baseline",
 		append([]string{"Cluster"}, bench.Names()...)...)
-	for _, cs := range []*machine.ClusterSpec{machine.ClusterA(), machine.ClusterB()} {
+	clusters, err := ctx.clusterSpecs()
+	if err != nil {
+		return err
+	}
+	for _, cs := range clusters {
 		sweeps, err := ctx.nodeSweepAll(cs)
 		if err != nil {
 			return err
@@ -133,37 +136,57 @@ func TextEfficiency(ctx *Context) error {
 	return ctx.saveCSV("text_efficiency.csv", t)
 }
 
-// TextAcceleration reproduces the Sect. 4.1.2 node acceleration factors
-// (ClusterB over ClusterA).
+// TextAcceleration reproduces the Sect. 4.1.2 node acceleration factors:
+// each cluster's full-node wall time relative to the first (baseline)
+// cluster of the context — ClusterB over ClusterA in the paper setup.
 func TextAcceleration(ctx *Context) error {
-	a, b := machine.ClusterA(), machine.ClusterB()
-	sweepsA, err := ctx.nodeSweepAll(a)
+	clusters, err := ctx.clusterSpecs()
 	if err != nil {
 		return err
 	}
-	sweepsB, err := ctx.nodeSweepAll(b)
+	if len(clusters) < 2 {
+		// A single-cluster study has no cross-machine factor to report;
+		// skip rather than abort the remaining experiments.
+		_, err := fmt.Fprintf(ctx.out(),
+			"Sect. 4.1.2 acceleration factors skipped: need >= 2 clusters, have %d\n",
+			len(clusters))
+		return err
+	}
+	base := clusters[0]
+	sweepsBase, err := ctx.nodeSweepAll(base)
 	if err != nil {
 		return err
 	}
-	t := report.NewTable("Sect. 4.1.2: node acceleration factor ClusterB over ClusterA",
+	t := report.NewTable(
+		fmt.Sprintf("Sect. 4.1.2: node acceleration factor over %s", base.Name),
 		append([]string{""}, bench.Names()...)...)
-	cells := []string{"B over A"}
-	for _, name := range bench.Names() {
-		lastA := sweepsA[name][len(sweepsA[name])-1].Usage
-		lastB := sweepsB[name][len(sweepsB[name])-1].Usage
-		cells = append(cells, fmt.Sprintf("%.2f",
-			analysis.AccelerationFactor(lastA.Wall, lastB.Wall)))
+	for _, cs := range clusters[1:] {
+		sweeps, err := ctx.nodeSweepAll(cs)
+		if err != nil {
+			return err
+		}
+		cells := []string{fmt.Sprintf("%s over %s", cs.Name, base.Name)}
+		for _, name := range bench.Names() {
+			lastBase := sweepsBase[name][len(sweepsBase[name])-1].Usage
+			last := sweeps[name][len(sweeps[name])-1].Usage
+			cells = append(cells, fmt.Sprintf("%.2f",
+				analysis.AccelerationFactor(lastBase.Wall, last.Wall)))
+		}
+		t.AddRow(cells...)
 	}
-	t.AddRow(cells...)
 	if err := t.Write(ctx.out()); err != nil {
 		return err
 	}
 	return ctx.saveCSV("text_acceleration.csv", t)
 }
 
-// TextSIMD reproduces the Sect. 4.1.3 vectorization-ratio table.
+// TextSIMD reproduces the Sect. 4.1.3 vectorization-ratio table (the
+// paper measures it on the Ice Lake system).
 func TextSIMD(ctx *Context) error {
-	a := machine.ClusterA()
+	a, err := paperCluster("ClusterA")
+	if err != nil {
+		return err
+	}
 	t := report.NewTable("Sect. 4.1.3: vectorization percentage (paper target in parentheses)",
 		append([]string{""}, bench.Names()...)...)
 	cells := []string{"measured"}
@@ -186,7 +209,11 @@ func TextSIMD(ctx *Context) error {
 // Fig2 renders node bandwidth/volume behaviour plus the two ITAC-style
 // insets (minisweep serialization at 59 ranks, lbm straggler at 71).
 func Fig2(ctx *Context) error {
-	for _, cs := range []*machine.ClusterSpec{machine.ClusterA(), machine.ClusterB()} {
+	clusters, err := ctx.clusterSpecs()
+	if err != nil {
+		return err
+	}
+	for _, cs := range clusters {
 		sweeps, err := ctx.nodeSweepAll(cs)
 		if err != nil {
 			return err
@@ -225,7 +252,10 @@ func Fig2(ctx *Context) error {
 		}
 	}
 	// (c, d) L3/L2 bandwidth for the codes the paper highlights.
-	a := machine.ClusterA()
+	a, err := paperCluster("ClusterA")
+	if err != nil {
+		return err
+	}
 	cachePlot := report.NewPlot("Fig.2 cache bandwidths on ClusterA (lbm, minisweep, pot3d)",
 		"processes", "GB/s")
 	sweepsA, err := ctx.nodeSweepAll(a)
@@ -262,9 +292,12 @@ func Fig2(ctx *Context) error {
 // processes (MPI_Recv-dominated serialization) and lbm at 71 (one slow
 // straggler rank).
 func fig2Insets(ctx *Context) error {
-	a := machine.ClusterA()
+	a, err := paperCluster("ClusterA")
+	if err != nil {
+		return err
+	}
 	// minisweep at 59 ranks.
-	ms, err := spec.Run(spec.RunSpec{
+	ms, err := ctx.run(spec.RunSpec{
 		Benchmark: "minisweep", Class: bench.Tiny, Cluster: a, Ranks: 59,
 		Options: bench.Options{SimSteps: 1},
 	})
@@ -283,7 +316,7 @@ func fig2Insets(ctx *Context) error {
 		return err
 	}
 	// lbm at 71 ranks: per-rank compute time identifies the straggler.
-	lb, err := spec.Run(spec.RunSpec{
+	lb, err := ctx.run(spec.RunSpec{
 		Benchmark: "lbm", Class: bench.Tiny, Cluster: a, Ranks: 71,
 		Options: bench.Options{SimSteps: 2},
 	})
@@ -331,8 +364,16 @@ func stragglerRatio(rec *trace.Recorder) float64 {
 // and node-level power vs processes (b, d), including the zero-core
 // baseline extrapolation.
 func Fig3(ctx *Context) error {
-	for _, cs := range []*machine.ClusterSpec{machine.ClusterA(), machine.ClusterB()} {
+	clusters, err := ctx.clusterSpecs()
+	if err != nil {
+		return err
+	}
+	for _, cs := range clusters {
 		domPts := ctx.domainPoints(cs)
+		domSweeps, err := ctx.sweepAll(cs, bench.Tiny, domPts)
+		if err != nil {
+			return err
+		}
 		chipPlot := report.NewPlot(
 			fmt.Sprintf("Fig.3 %s chip power vs speedup (one ccNUMA domain)", cs.Name),
 			"speedup", "W")
@@ -345,10 +386,7 @@ func Fig3(ctx *Context) error {
 			"benchmark", "extrapolated baseline W")
 		var chipSeries, dramSeries []report.Series
 		for _, name := range bench.Names() {
-			res, err := ctx.sweep(cs, name, bench.Tiny, domPts)
-			if err != nil {
-				return err
-			}
+			res := domSweeps[name]
 			pts := analysis.Points(res)
 			sp := analysis.Speedup(pts)
 			chip := make([]float64, len(res))
@@ -417,8 +455,16 @@ func Fig3(ctx *Context) error {
 
 // Fig4 renders the energy Z-plots (a, b) and node total energy (c).
 func Fig4(ctx *Context) error {
-	for _, cs := range []*machine.ClusterSpec{machine.ClusterA(), machine.ClusterB()} {
+	clusters, err := ctx.clusterSpecs()
+	if err != nil {
+		return err
+	}
+	for _, cs := range clusters {
 		domPts := ctx.domainPoints(cs)
+		domSweeps, err := ctx.sweepAll(cs, bench.Tiny, domPts)
+		if err != nil {
+			return err
+		}
 		zPlot := report.NewPlot(
 			fmt.Sprintf("Fig.4 %s Z-plot: chip energy vs speedup (one domain)", cs.Name),
 			"speedup", "J")
@@ -427,10 +473,7 @@ func Fig4(ctx *Context) error {
 			"benchmark", "ranks at min E", "ranks at min EDP")
 		var zSeries []report.Series
 		for _, name := range bench.Names() {
-			res, err := ctx.sweep(cs, name, bench.Tiny, domPts)
-			if err != nil {
-				return err
-			}
+			res := domSweeps[name]
 			z := analysis.ZPlot(analysis.Points(res))
 			xs := make([]float64, len(z))
 			ys := make([]float64, len(z))

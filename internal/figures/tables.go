@@ -53,12 +53,23 @@ func Table2(ctx *Context) error {
 }
 
 // Table3 reproduces the hardware/software attribute table from the
-// machine presets.
+// registered machine presets of the context.
 func Table3(ctx *Context) error {
-	a, b := machine.ClusterA(), machine.ClusterB()
-	t := report.NewTable("Table 3: key hardware attributes", "Attribute", a.Name, b.Name)
+	clusters, err := ctx.clusterSpecs()
+	if err != nil {
+		return err
+	}
+	cols := []string{"Attribute"}
+	for _, cs := range clusters {
+		cols = append(cols, cs.Name)
+	}
+	t := report.NewTable("Table 3: key hardware attributes", cols...)
 	row := func(name string, f func(*machine.ClusterSpec) string) {
-		t.AddRow(name, f(a), f(b))
+		cells := []string{name}
+		for _, cs := range clusters {
+			cells = append(cells, f(cs))
+		}
+		t.AddRow(cells...)
 	}
 	row("Processor", func(c *machine.ClusterSpec) string { return c.CPU.Name })
 	row("Base clock", func(c *machine.ClusterSpec) string {

@@ -10,9 +10,9 @@ import (
 )
 
 func TestPresetsValidate(t *testing.T) {
-	for name, cs := range Clusters() {
+	for _, cs := range All() {
 		if err := cs.Validate(); err != nil {
-			t.Errorf("%s: %v", name, err)
+			t.Errorf("%s: %v", cs.Name, err)
 		}
 	}
 }

@@ -1,0 +1,123 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory builds a fresh ClusterSpec. The registry stores factories, not
+// instances, so every Get returns an independent copy callers may mutate
+// freely (ablation studies tweak cache sizes, power floors, ...).
+type Factory func() *ClusterSpec
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a named cluster to the global registry. The name must
+// match the Name field of the spec the factory produces, the spec must
+// validate, and duplicate names panic — registration is a programming
+// error caught at init time, mirroring the bench kernel registry.
+func Register(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("machine: registering incomplete cluster")
+	}
+	cs := f()
+	if cs == nil {
+		panic(fmt.Sprintf("machine: factory for %q returned nil", name))
+	}
+	if cs.Name != name {
+		panic(fmt.Sprintf("machine: cluster registered as %q but spec is named %q", name, cs.Name))
+	}
+	if err := cs.Validate(); err != nil {
+		panic(fmt.Sprintf("machine: registering invalid cluster %q: %v", name, err))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("machine: duplicate cluster %q", name))
+	}
+	registry[name] = f
+}
+
+// Get returns a fresh instance of a registered cluster. Besides exact
+// names it accepts the short aliases the paper (and the CLIs) use:
+// "A" resolves to "ClusterA", "b" to "ClusterB", and lookup is
+// case-insensitive.
+//
+// The factory runs after the registry lock is released, so factories may
+// themselves resolve other clusters (the derive-from-a-preset pattern of
+// examples/custom_cluster) without self-deadlocking.
+func Get(name string) (*ClusterSpec, error) {
+	f, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}
+
+func lookup(name string) (Factory, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if f, ok := registry[name]; ok {
+		return f, nil
+	}
+	for _, candidate := range []string{"Cluster" + name, name} {
+		for reg, f := range registry {
+			if strings.EqualFold(reg, candidate) {
+				return f, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("machine: unknown cluster %q (registered: %s)",
+		name, strings.Join(namesLocked(), ", "))
+}
+
+// MustGet is Get for static, known-registered names; it panics on error.
+func MustGet(name string) *ClusterSpec {
+	cs, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// Names returns all registered cluster names in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns a fresh instance of every registered cluster in Names
+// order. Like Get, factories run outside the registry lock.
+func All() []*ClusterSpec {
+	regMu.RLock()
+	factories := make([]Factory, 0, len(registry))
+	for _, n := range namesLocked() {
+		factories = append(factories, registry[n])
+	}
+	regMu.RUnlock()
+	out := make([]*ClusterSpec, 0, len(factories))
+	for _, f := range factories {
+		out = append(out, f())
+	}
+	return out
+}
+
+func init() {
+	Register("ClusterA", ClusterA)
+	Register("ClusterB", ClusterB)
+}

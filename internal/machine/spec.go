@@ -295,7 +295,3 @@ func ClusterB() *ClusterSpec {
 	}
 }
 
-// Clusters returns both paper clusters keyed by name.
-func Clusters() map[string]*ClusterSpec {
-	return map[string]*ClusterSpec{"ClusterA": ClusterA(), "ClusterB": ClusterB()}
-}

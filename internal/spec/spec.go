@@ -8,6 +8,7 @@ package spec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
 	"github.com/spechpc/spechpc-sim/internal/machine"
@@ -62,6 +63,10 @@ func Run(rs RunSpec) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("spec: non-positive rank count")
 	}
 	rec := trace.NewRecorder(rs.Ranks, rs.KeepTrace)
+	// Rank bodies run on distinct (serially interleaved) goroutines, so
+	// the first-error and rank-0-report capture is guarded by a mutex to
+	// stay race-clean under `go test -race` and parallel campaign runs.
+	var mu sync.Mutex
 	var rep bench.RunReport
 	var runErr error
 	res, err := mpi.Run(mpi.Config{
@@ -71,12 +76,14 @@ func Run(rs RunSpec) (RunResult, error) {
 		Net:     rs.Net,
 	}, func(r *mpi.Rank) {
 		rr, err := b.Run(r, rs.Class, rs.Options)
+		mu.Lock()
 		if err != nil && runErr == nil {
 			runErr = err
 		}
 		if r.ID() == 0 {
 			rep = rr
 		}
+		mu.Unlock()
 	})
 	if err != nil {
 		return RunResult{}, fmt.Errorf("spec: %s/%s on %s with %d ranks: %w",
@@ -106,7 +113,12 @@ func Run(rs RunSpec) (RunResult, error) {
 func NodePoints(cs *machine.ClusterSpec) []int {
 	cpd := cs.CPU.CoresPerDomain()
 	cpn := cs.CPU.CoresPerNode()
-	set := map[int]bool{1: true, 2: true, 4: true}
+	set := map[int]bool{1: true}
+	for _, seed := range []int{2, 4} {
+		if seed <= cpn {
+			set[seed] = true
+		}
+	}
 	step := cpd / 3
 	if step < 1 {
 		step = 1
@@ -151,8 +163,10 @@ func MultiNodePoints(cs *machine.ClusterSpec) []int {
 	return points
 }
 
-// Sweep runs one benchmark over a list of rank counts and returns results
-// in order. Options apply to every point.
+// Sweep runs one benchmark over a list of rank counts serially and
+// returns results in order. Options apply to every point. It is the
+// uncached serial reference; sweeps that should parallelize across host
+// cores and memoize repeated jobs go through internal/campaign instead.
 func Sweep(base RunSpec, points []int) ([]RunResult, error) {
 	out := make([]RunResult, 0, len(points))
 	for _, p := range points {

@@ -91,6 +91,68 @@ func TestMultiNodePoints(t *testing.T) {
 	}
 }
 
+// tinyCluster builds a minimal valid cluster with very few cores, the
+// edge case for the sweep point generators.
+func tinyCluster(coresPerSocket, sockets, domains, nodes int) *machine.ClusterSpec {
+	cs := machine.ClusterA()
+	cs.Name = "tiny-test"
+	cs.CPU.CoresPerSocket = coresPerSocket
+	cs.CPU.SocketsPerNode = sockets
+	cs.CPU.DomainsPerSocket = domains
+	cs.MaxNodes = nodes
+	return cs
+}
+
+func TestNodePointsTinyCoreCounts(t *testing.T) {
+	// 2 cores per node, 1 domain: step = cpd/3 = 0 must clamp to 1, and
+	// the seed points 2/4 must not exceed the node.
+	cs := tinyCluster(2, 1, 1, 2)
+	if err := cs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pts := NodePoints(cs)
+	if len(pts) == 0 || pts[0] != 1 {
+		t.Fatalf("points %v, want to start at 1", pts)
+	}
+	cpn := cs.CPU.CoresPerNode()
+	for i, p := range pts {
+		if p < 1 || p > cpn {
+			t.Errorf("point %d out of node range [1,%d]: %v", p, cpn, pts)
+		}
+		if i > 0 && pts[i-1] >= p {
+			t.Errorf("points not strictly increasing: %v", pts)
+		}
+	}
+	if pts[len(pts)-1] != cpn {
+		t.Errorf("last point %d, want full node %d", pts[len(pts)-1], cpn)
+	}
+
+	// Single-core node degenerates to exactly one point.
+	if pts := NodePoints(tinyCluster(1, 1, 1, 1)); len(pts) != 1 || pts[0] != 1 {
+		t.Errorf("1-core node points = %v, want [1]", pts)
+	}
+}
+
+func TestMultiNodePointsTinyClusters(t *testing.T) {
+	// One node: a single full-node point, no duplicate.
+	cs := tinyCluster(2, 1, 1, 1)
+	if pts := MultiNodePoints(cs); len(pts) != 1 || pts[0] != 2 {
+		t.Errorf("1-node points = %v, want [2]", pts)
+	}
+	// Three nodes: powers of two (1, 2) plus the full machine (3).
+	cs = tinyCluster(2, 1, 1, 3)
+	want := []int{2, 4, 6}
+	pts := MultiNodePoints(cs)
+	if len(pts) != len(want) {
+		t.Fatalf("3-node points = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("3-node points = %v, want %v", pts, want)
+		}
+	}
+}
+
 func TestSweepRunsAllPoints(t *testing.T) {
 	results, err := Sweep(RunSpec{
 		Benchmark: "cloverleaf",
