@@ -2,7 +2,9 @@
 // registered clusters and reports SPEC-style verified results: runtime,
 // performance, bandwidth, power, energy, and the MPI share. A
 // comma-separated -ranks list runs a scaling sweep on the campaign
-// worker pool instead of a single job.
+// worker pool instead of a single job; -clock pins the core clock to a
+// point of the cluster's DVFS ladder, and -clock-sweep fans the job
+// across clock points instead ("ladder" selects the full ladder).
 //
 // Usage:
 //
@@ -10,6 +12,8 @@
 //	spechpc -clusters
 //	spechpc -bench tealeaf -cluster A -ranks 72 [-class tiny] [-steps 8] [-trace]
 //	spechpc -bench tealeaf -cluster A -ranks 1,2,4,9,18 -parallel 8
+//	spechpc -bench pot3d -cluster A -ranks 18 -clock 1.6
+//	spechpc -bench pot3d -cluster A -ranks 18 -clock-sweep ladder
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/spechpc/spechpc-sim/internal/analysis"
 	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
 	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
 	"github.com/spechpc/spechpc-sim/internal/campaign"
@@ -40,6 +45,9 @@ func main() {
 	steps := flag.Int("steps", 0, "simulated steps (0 = kernel default)")
 	doTrace := flag.Bool("trace", false, "print the per-state time breakdown")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "campaign worker pool size (drives sweeps)")
+	clock := flag.Float64("clock", 0, "core clock in GHz (0 = the cluster's pinned base clock)")
+	clockSweep := flag.String("clock-sweep", "",
+		"frequency sweep: comma-separated GHz list, or \"ladder\" for the full DVFS ladder")
 	flag.Parse()
 
 	if *listClusters {
@@ -71,6 +79,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *clock < 0 {
+		fatal(fmt.Errorf("invalid -clock %g (want positive GHz, 0 = base clock)", *clock))
+	}
 	class := bench.Tiny
 	if *classFlag == "small" {
 		class = bench.Small
@@ -85,7 +96,29 @@ func main() {
 		Benchmark: *name,
 		Class:     class,
 		Cluster:   cluster,
+		ClockHz:   *clock * 1e9,
 		Options:   bench.Options{SimSteps: *steps},
+	}
+	if *clockSweep != "" {
+		if len(points) > 1 {
+			fatal(fmt.Errorf("-clock-sweep needs a single -ranks value, got %d", len(points)))
+		}
+		if *clock != 0 {
+			fatal(fmt.Errorf("-clock and -clock-sweep are mutually exclusive"))
+		}
+		clocks, err := parseClocks(*clockSweep)
+		if err != nil {
+			fatal(err)
+		}
+		base.Ranks = points[0]
+		base.ClockHz = 0
+		if *doTrace {
+			fmt.Fprintln(os.Stderr, "spechpc: -trace applies to single runs only; ignored for sweeps")
+		}
+		if err := runClockSweep(engine, base, clocks); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if len(points) > 1 {
 		if *doTrace {
@@ -169,6 +202,57 @@ func parseRanks(s string, domainDefault int) ([]int, error) {
 		return nil, fmt.Errorf("empty -ranks list")
 	}
 	return points, nil
+}
+
+// parseClocks turns the -clock-sweep flag into Hz points: either the
+// literal "ladder" (the cluster's full DVFS ladder, resolved by
+// campaign.FrequencySweep) or a comma-separated list of GHz values.
+func parseClocks(s string) ([]float64, error) {
+	s = strings.TrimSpace(s)
+	if strings.EqualFold(s, "ladder") {
+		return nil, nil // FrequencySweep expands nil to the full ladder
+	}
+	var clocks []float64
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		ghz, err := strconv.ParseFloat(tok, 64)
+		if err != nil || ghz <= 0 {
+			return nil, fmt.Errorf("invalid -clock-sweep value %q (want positive GHz)", tok)
+		}
+		clocks = append(clocks, ghz*1e9)
+	}
+	if len(clocks) == 0 {
+		return nil, fmt.Errorf("empty -clock-sweep list")
+	}
+	return clocks, nil
+}
+
+// runClockSweep executes a frequency sweep on the campaign pool and
+// prints one summary row per clock point.
+func runClockSweep(engine *campaign.Engine, base spec.RunSpec, clocks []float64) error {
+	results, err := engine.FrequencySweep(base, clocks)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("%s / %s on %s, %d ranks: %d-point frequency sweep",
+			base.Benchmark, base.Class, base.Cluster.Name, base.Ranks, len(results)),
+		"clock", "wall", "perf", "chip power", "energy", "J/Gflop", "EDP Js")
+	for i, p := range analysis.ClockPoints(results) {
+		u := results[i].Usage
+		t.AddRow(
+			units.Frequency(p.ClockHz),
+			units.Seconds(p.Wall),
+			units.FlopRate(u.PerfFlops()),
+			units.Power(u.ChipPower()),
+			units.Energy(p.Energy),
+			fmt.Sprintf("%.2f", p.EnergyPerFlop*1e9),
+			fmt.Sprintf("%.3g", p.EDP))
+	}
+	return t.Write(os.Stdout)
 }
 
 // runSweep executes a rank sweep on the campaign pool and prints one

@@ -1,0 +1,69 @@
+package analysis
+
+import "github.com/spechpc/spechpc-sim/internal/spec"
+
+// ClockPoint is one frequency-sweep sample: the energy-vs-time view of a
+// fixed (benchmark, cluster, ranks) point with the core clock as the
+// implicit parameter — the frequency analogue of ZPoint.
+type ClockPoint struct {
+	// ClockHz is the core clock of the sample.
+	ClockHz float64
+	// Wall is the extrapolated wall time (s).
+	Wall float64
+	// Energy is total chip+DRAM energy (J); EnergyPerFlop normalizes it
+	// by the executed DP flops (J/flop), the "energy per unit of work"
+	// metric of the companion energy studies.
+	Energy        float64
+	EnergyPerFlop float64
+	// EDP is the energy-delay product (J*s).
+	EDP float64
+}
+
+// ClockPoints reduces a frequency sweep to clock points. The clock is
+// taken from the run's ClockHz override, falling back to the cluster's
+// pinned base clock for runs without one.
+func ClockPoints(results []spec.RunResult) []ClockPoint {
+	out := make([]ClockPoint, len(results))
+	for i, r := range results {
+		u := r.Usage
+		hz := r.Spec.ClockHz
+		if hz == 0 && r.Spec.Cluster != nil {
+			hz = r.Spec.Cluster.CPU.BaseClockHz
+		}
+		e := u.TotalEnergy()
+		p := ClockPoint{
+			ClockHz: hz,
+			Wall:    u.Wall,
+			Energy:  e,
+			EDP:     u.EDP(),
+		}
+		if f := u.Flops(); f > 0 {
+			p.EnergyPerFlop = e / f
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// MinEnergyClock returns the index of the clock point with minimal total
+// energy — the energy-optimal operating frequency.
+func MinEnergyClock(pts []ClockPoint) int {
+	best := 0
+	for i, p := range pts {
+		if p.Energy < pts[best].Energy {
+			best = i
+		}
+	}
+	return best
+}
+
+// MinEDPClock returns the index with minimal energy-delay product.
+func MinEDPClock(pts []ClockPoint) int {
+	best := 0
+	for i, p := range pts {
+		if p.EDP < pts[best].EDP {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+)
+
+func TestClockMinima(t *testing.T) {
+	pts := []ClockPoint{
+		{ClockHz: 0.8e9, Wall: 10, Energy: 90, EDP: 900},
+		{ClockHz: 1.6e9, Wall: 6, Energy: 80, EDP: 480},
+		{ClockHz: 2.4e9, Wall: 5, Energy: 85, EDP: 425},
+	}
+	if i := MinEnergyClock(pts); i != 1 {
+		t.Errorf("min energy at index %d, want 1", i)
+	}
+	if i := MinEDPClock(pts); i != 2 {
+		t.Errorf("min EDP at index %d, want 2", i)
+	}
+}
+
+// TestClockPoints reduces synthetic run results and checks the derived
+// quantities: clock from the override (or the cluster's pinned clock),
+// energy per flop, and EDP.
+func TestClockPoints(t *testing.T) {
+	cluster := machine.MustGet("ClusterA")
+	results := []spec.RunResult{
+		{
+			Spec: spec.RunSpec{Cluster: cluster, ClockHz: 1.2e9},
+			Usage: machine.Usage{
+				Wall: 4, FlopsSIMD: 2e9, ChipEnergy: 100, DRAMEnergy: 20,
+			},
+		},
+		{
+			Spec: spec.RunSpec{Cluster: cluster}, // no override: pinned clock
+			Usage: machine.Usage{
+				Wall: 2, FlopsSIMD: 2e9, ChipEnergy: 80, DRAMEnergy: 16,
+			},
+		},
+	}
+	pts := ClockPoints(results)
+	if pts[0].ClockHz != 1.2e9 {
+		t.Errorf("point 0 clock %g, want the 1.2e9 override", pts[0].ClockHz)
+	}
+	if pts[1].ClockHz != cluster.CPU.BaseClockHz {
+		t.Errorf("point 1 clock %g, want the pinned base clock %g",
+			pts[1].ClockHz, cluster.CPU.BaseClockHz)
+	}
+	if math.Abs(pts[0].Energy-120) > 1e-12 {
+		t.Errorf("point 0 energy %g, want 120 (chip+DRAM)", pts[0].Energy)
+	}
+	if math.Abs(pts[0].EnergyPerFlop-120/2e9) > 1e-21 {
+		t.Errorf("point 0 energy/flop %g, want %g", pts[0].EnergyPerFlop, 120/2e9)
+	}
+	if math.Abs(pts[0].EDP-480) > 1e-12 {
+		t.Errorf("point 0 EDP %g, want 480", pts[0].EDP)
+	}
+}

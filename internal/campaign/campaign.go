@@ -91,14 +91,22 @@ func (e *Engine) Stats() Stats {
 // describe the same simulation and may share a memoized result. The
 // cluster is keyed by value, not by pointer, so two independently
 // resolved (or mutated) ClusterSpec instances only collide when they
-// describe identical hardware.
+// describe identical hardware. The clock override is part of the key —
+// quantized onto the cluster's DVFS ladder, since that is the clock the
+// run executes at — so every distinct frequency point memoizes
+// independently and requests snapping to the same ladder step share one
+// simulation.
 func Key(rs spec.RunSpec) string {
 	var cl machine.ClusterSpec
 	if rs.Cluster != nil {
 		cl = *rs.Cluster
 	}
-	return fmt.Sprintf("%s|%v|%d|%+v|%t|%+v|%+v",
-		rs.Benchmark, rs.Class, rs.Ranks, rs.Options, rs.KeepTrace, rs.Net, cl)
+	hz := rs.ClockHz
+	if hz > 0 {
+		hz = cl.CPU.DVFS.Quantize(hz)
+	}
+	return fmt.Sprintf("%s|%v|%d|%g|%+v|%t|%+v|%+v",
+		rs.Benchmark, rs.Class, rs.Ranks, hz, rs.Options, rs.KeepTrace, rs.Net, cl)
 }
 
 // Run executes a campaign and returns one Outcome per job, in input
@@ -201,6 +209,38 @@ func (e *Engine) SweepAll(names []string, base spec.RunSpec, points []int) (map[
 		out[name] = results
 	}
 	return out, nil
+}
+
+// FrequencySweep fans one (benchmark, cluster, ranks) point across a
+// clock ladder on the worker pool: the frequency-axis counterpart of
+// Sweep. An empty clocks slice selects the cluster's full DVFS ladder.
+// Results come back in ladder order; the first job error aborts the
+// returned slice (remaining points still complete and stay memoized).
+func (e *Engine) FrequencySweep(base spec.RunSpec, clocks []float64) ([]spec.RunResult, error) {
+	if len(clocks) == 0 {
+		if base.Cluster == nil {
+			return nil, fmt.Errorf("campaign: frequency sweep without cluster")
+		}
+		clocks = base.Cluster.CPU.DVFS.Ladder()
+		if len(clocks) == 0 {
+			return nil, fmt.Errorf("campaign: %s has no DVFS ladder", base.Cluster.Name)
+		}
+	}
+	jobs := make([]spec.RunSpec, len(clocks))
+	for i, hz := range clocks {
+		rs := base
+		rs.ClockHz = hz
+		jobs[i] = rs
+	}
+	outs := e.Run(jobs)
+	results := make([]spec.RunResult, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return nil, o.Err
+		}
+		results[i] = o.Result
+	}
+	return results, nil
 }
 
 func clusterName(rs spec.RunSpec) string {

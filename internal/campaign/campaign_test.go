@@ -178,6 +178,79 @@ func TestKeyDistinguishesClustersByValue(t *testing.T) {
 	}
 }
 
+// TestKeyDistinguishesClockPoints checks that jobs differing only in the
+// ClockHz override never share a memoized result, so every point of a
+// frequency sweep is simulated in its own right.
+func TestKeyDistinguishesClockPoints(t *testing.T) {
+	j1, j2 := counterJob(1), counterJob(1)
+	j2.ClockHz = 1.6e9
+	if Key(j1) == Key(j2) {
+		t.Error("clock override shares a key with the pinned-clock job")
+	}
+	j3 := j1
+	j3.ClockHz = 1.2e9
+	if Key(j2) == Key(j3) {
+		t.Error("distinct clock points share a key")
+	}
+	// Requests snapping to the same ladder step run the same simulation
+	// and must share one memo entry.
+	j4, j5 := counterJob(1), counterJob(1)
+	j4.ClockHz, j5.ClockHz = 1.21e9, 1.24e9
+	if Key(j4) != Key(j5) {
+		t.Error("requests quantizing to the same ladder step have distinct keys")
+	}
+}
+
+// TestFrequencySweep fans one job across a clock list, checks ladder
+// order and per-point memoization, and that nil clocks expand to the
+// cluster's full DVFS ladder.
+func TestFrequencySweep(t *testing.T) {
+	e := New(4)
+	base := counterJob(2)
+	clocks := []float64{0.8e9, 1.6e9, 2.4e9}
+
+	results, err := e.FrequencySweep(base, clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(clocks) {
+		t.Fatalf("got %d results, want %d", len(results), len(clocks))
+	}
+	for i, r := range results {
+		if r.Spec.ClockHz != clocks[i] {
+			t.Errorf("point %d ran at %g Hz, want %g", i, r.Spec.ClockHz, clocks[i])
+		}
+	}
+	// Slower clocks may not beat the base wall time for this tiny kernel,
+	// but the three points must be distinct simulations.
+	st := e.Stats()
+	if st.Misses != 3 {
+		t.Errorf("%d fresh simulations, want 3 (one per clock)", st.Misses)
+	}
+	// Resubmitting is all cache hits.
+	if _, err := e.FrequencySweep(base, clocks); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Misses != st.Misses {
+		t.Error("repeated frequency sweep re-simulated instead of hitting the cache")
+	}
+
+	// nil clocks = the full ladder of the job's cluster.
+	ladder := base.Cluster.CPU.DVFS.Ladder()
+	full, err := e.FrequencySweep(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(ladder) {
+		t.Fatalf("full sweep has %d points, want ladder length %d", len(full), len(ladder))
+	}
+	for i, r := range full {
+		if r.Spec.ClockHz != ladder[i] {
+			t.Errorf("full sweep point %d at %g Hz, want %g", i, r.Spec.ClockHz, ladder[i])
+		}
+	}
+}
+
 // TestSweepAllCoversCrossProduct checks the batched multi-kernel sweep
 // returns every (kernel, point) result in order.
 func TestSweepAllCoversCrossProduct(t *testing.T) {

@@ -1,0 +1,126 @@
+// Package dvfs models dynamic voltage and frequency scaling of a CPU:
+// the admissible core-clock ladder and how per-core dynamic power moves
+// with the clock.
+//
+// The model follows the classic CMOS relation P_dyn ~ f * V(f)^2 with a
+// linear voltage ramp between the minimum and maximum clock. Package
+// machine composes it with the cluster power model: only the per-core
+// dynamic terms scale with frequency, while the socket baseline, the DRAM
+// power, and the shared uncore bandwidths (L3, memory) are frequency
+// independent — which is exactly why the energy-vs-clock trade-off of the
+// paper's companion studies differs so strongly between memory-bound and
+// compute-bound kernels (a slow clock is nearly free when the cores wait
+// for DRAM anyway).
+package dvfs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model describes the frequency-scaling behaviour of one CPU. The zero
+// value means "no DVFS": the part runs pinned at its calibration clock
+// and WithClock-style derivations are rejected.
+type Model struct {
+	// MinHz and MaxHz bound the admissible core clock (Hz).
+	MinHz float64
+	// MaxHz is the highest admissible core clock (Hz).
+	MaxHz float64
+	// StepHz is the granularity of the clock ladder (Hz); real parts
+	// expose 100 MHz P-state steps.
+	StepHz float64
+	// RefHz is the calibration clock: the frequency at which the CPU's
+	// per-core dynamic-power constants were measured. PowerFactor
+	// returns 1 at RefHz.
+	RefHz float64
+	// VMin and VMax are the relative supply voltages at MinHz and MaxHz.
+	// Only their ratio matters; the voltage at intermediate clocks is
+	// interpolated linearly (the "linear voltage ramp").
+	VMin float64
+	// VMax is the relative supply voltage at MaxHz.
+	VMax float64
+}
+
+// Enabled reports whether the model describes a usable clock ladder.
+func (m Model) Enabled() bool { return m.MaxHz > 0 }
+
+// Validate checks internal consistency of the model.
+func (m Model) Validate() error {
+	if !m.Enabled() {
+		return nil // zero value: DVFS disabled, nothing to check
+	}
+	switch {
+	case m.MinHz <= 0 || m.MaxHz < m.MinHz:
+		return fmt.Errorf("dvfs: invalid clock range [%g, %g] Hz", m.MinHz, m.MaxHz)
+	case m.StepHz <= 0:
+		return fmt.Errorf("dvfs: non-positive step %g Hz", m.StepHz)
+	case m.RefHz < m.MinHz || m.RefHz > m.MaxHz:
+		return fmt.Errorf("dvfs: calibration clock %g Hz outside [%g, %g]",
+			m.RefHz, m.MinHz, m.MaxHz)
+	case m.VMin <= 0 || m.VMax < m.VMin:
+		return fmt.Errorf("dvfs: invalid voltage ramp [%g, %g]", m.VMin, m.VMax)
+	}
+	return nil
+}
+
+// Quantize snaps a requested clock to the nearest ladder step and clamps
+// it into [MinHz, MaxHz].
+func (m Model) Quantize(hz float64) float64 {
+	if !m.Enabled() {
+		return hz
+	}
+	q := m.MinHz + math.Round((hz-m.MinHz)/m.StepHz)*m.StepHz
+	switch {
+	case q < m.MinHz:
+		return m.MinHz
+	case q > m.MaxHz:
+		return m.MaxHz
+	}
+	return q
+}
+
+// Ladder returns every admissible clock from MinHz to MaxHz in StepHz
+// increments (MaxHz is always included, even when it is off-step).
+func (m Model) Ladder() []float64 {
+	if !m.Enabled() {
+		return nil
+	}
+	steps := int(math.Floor((m.MaxHz-m.MinHz)/m.StepHz + 1e-9))
+	out := make([]float64, 0, steps+2)
+	for i := 0; i <= steps; i++ {
+		out = append(out, m.MinHz+float64(i)*m.StepHz)
+	}
+	if last := out[len(out)-1]; m.MaxHz-last > m.StepHz*1e-6 {
+		out = append(out, m.MaxHz)
+	} else {
+		out[len(out)-1] = m.MaxHz // absorb float accumulation error
+	}
+	return out
+}
+
+// Voltage returns the relative supply voltage at a clock: a linear ramp
+// from VMin at MinHz to VMax at MaxHz (clamped outside the range).
+func (m Model) Voltage(hz float64) float64 {
+	switch {
+	case !m.Enabled():
+		return 1
+	case hz <= m.MinHz:
+		return m.VMin
+	case hz >= m.MaxHz:
+		return m.VMax
+	}
+	t := (hz - m.MinHz) / (m.MaxHz - m.MinHz)
+	return m.VMin + t*(m.VMax-m.VMin)
+}
+
+// PowerFactor returns the per-core dynamic-power multiplier at a clock,
+// relative to the calibration clock RefHz: (f/f_ref) * (V(f)/V(f_ref))^2.
+// It is 1 at RefHz, monotonically increasing in f, and super-linear
+// thanks to the voltage ramp.
+func (m Model) PowerFactor(hz float64) float64 {
+	if !m.Enabled() || m.RefHz <= 0 {
+		return 1
+	}
+	vr := m.Voltage(hz) / m.Voltage(m.RefHz)
+	return (hz / m.RefHz) * vr * vr
+}

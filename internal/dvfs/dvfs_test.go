@@ -1,0 +1,129 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+)
+
+func testModel() Model {
+	return Model{
+		MinHz:  0.8e9,
+		MaxHz:  2.4e9,
+		StepHz: 0.1e9,
+		RefHz:  2.4e9,
+		VMin:   0.70,
+		VMax:   1.00,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{}).Validate(); err != nil {
+		t.Errorf("zero model (DVFS disabled) must validate: %v", err)
+	}
+	if err := testModel().Validate(); err != nil {
+		t.Errorf("reference model must validate: %v", err)
+	}
+	bad := []Model{
+		{MinHz: 2e9, MaxHz: 1e9, StepHz: 1e8, RefHz: 1.5e9, VMin: 0.7, VMax: 1},
+		{MinHz: 1e9, MaxHz: 2e9, StepHz: 0, RefHz: 1.5e9, VMin: 0.7, VMax: 1},
+		{MinHz: 1e9, MaxHz: 2e9, StepHz: 1e8, RefHz: 3e9, VMin: 0.7, VMax: 1},
+		{MinHz: 1e9, MaxHz: 2e9, StepHz: 1e8, RefHz: 1.5e9, VMin: 1, VMax: 0.7},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d validated", i)
+		}
+	}
+}
+
+func TestLadder(t *testing.T) {
+	m := testModel()
+	ladder := m.Ladder()
+	if len(ladder) != 17 {
+		t.Fatalf("ladder has %d points, want 17 (0.8..2.4 GHz in 100 MHz steps)", len(ladder))
+	}
+	if ladder[0] != m.MinHz || ladder[len(ladder)-1] != m.MaxHz {
+		t.Errorf("ladder endpoints %g..%g, want %g..%g",
+			ladder[0], ladder[len(ladder)-1], m.MinHz, m.MaxHz)
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			t.Errorf("ladder not strictly increasing at %d", i)
+		}
+	}
+	// An off-step MaxHz is appended after the last on-step point, not
+	// substituted for it: 0.8..2.35 must contain 2.3 AND end at 2.35.
+	m.MaxHz = 2.35e9
+	ladder = m.Ladder()
+	if ladder[len(ladder)-1] != 2.35e9 {
+		t.Errorf("off-step MaxHz missing from ladder: last point %g", ladder[len(ladder)-1])
+	}
+	if got := ladder[len(ladder)-2]; math.Abs(got-2.3e9) > 1 {
+		t.Errorf("highest on-step point %g, want 2.3e9 kept alongside off-step MaxHz", got)
+	}
+	if (Model{}).Ladder() != nil {
+		t.Error("disabled model must have no ladder")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	m := testModel()
+	cases := []struct{ in, want float64 }{
+		{1.64e9, 1.6e9}, // snap down
+		{1.66e9, 1.7e9}, // snap up
+		{0.5e9, m.MinHz},
+		{9e9, m.MaxHz},
+		{1.6e9, 1.6e9},
+	}
+	for _, c := range cases {
+		if got := m.Quantize(c.in); math.Abs(got-c.want) > 1 {
+			t.Errorf("Quantize(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVoltageRamp(t *testing.T) {
+	m := testModel()
+	if v := m.Voltage(m.MinHz); v != m.VMin {
+		t.Errorf("voltage at MinHz = %g, want %g", v, m.VMin)
+	}
+	if v := m.Voltage(m.MaxHz); v != m.VMax {
+		t.Errorf("voltage at MaxHz = %g, want %g", v, m.VMax)
+	}
+	mid := (m.MinHz + m.MaxHz) / 2
+	want := (m.VMin + m.VMax) / 2
+	if v := m.Voltage(mid); math.Abs(v-want) > 1e-12 {
+		t.Errorf("voltage at midpoint = %g, want %g (linear ramp)", v, want)
+	}
+}
+
+// TestPowerFactor pins the f*V(f)^2 law: unity at the calibration clock,
+// strictly increasing, and super-linear in f (the voltage ramp makes a
+// clock cut save more than proportionally).
+func TestPowerFactor(t *testing.T) {
+	m := testModel()
+	if pf := m.PowerFactor(m.RefHz); math.Abs(pf-1) > 1e-12 {
+		t.Errorf("power factor at RefHz = %g, want 1", pf)
+	}
+	prev := 0.0
+	for _, hz := range m.Ladder() {
+		pf := m.PowerFactor(hz)
+		if pf <= prev {
+			t.Errorf("power factor not strictly increasing at %g Hz", hz)
+		}
+		prev = pf
+		// Super-linear: pf(f)/pf(ref) <= f/ref below ref (V drops too).
+		if hz < m.RefHz && pf > hz/m.RefHz+1e-12 {
+			t.Errorf("power factor %g at %g Hz above linear scaling %g",
+				pf, hz, hz/m.RefHz)
+		}
+	}
+	// Explicit value: at MinHz, pf = (0.8/2.4) * (0.7/1.0)^2.
+	want := (0.8 / 2.4) * 0.49
+	if pf := m.PowerFactor(m.MinHz); math.Abs(pf-want) > 1e-12 {
+		t.Errorf("power factor at MinHz = %g, want %g", pf, want)
+	}
+	if pf := (Model{}).PowerFactor(1e9); pf != 1 {
+		t.Errorf("disabled model power factor = %g, want 1", pf)
+	}
+}

@@ -238,5 +238,6 @@ func All() []Experiment {
 		{"fig5", "Fig. 5: multi-node scaling, bandwidth, volume (small suite)", Fig5},
 		{"cases", "Sect. 5.1.1: scaling-case classification", TextCases},
 		{"fig6", "Fig. 6: multi-node power and energy", Fig6},
+		{"figclock", "Frequency study: energy/EDP across the DVFS clock ladder", FigEnergyClock},
 	}
 }

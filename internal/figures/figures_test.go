@@ -28,8 +28,37 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(seen) != 13 {
-		t.Errorf("got %d experiments, want 13", len(seen))
+	if len(seen) != 14 {
+		t.Errorf("got %d experiments, want 14", len(seen))
+	}
+}
+
+// TestFigEnergyClock checks the frequency study produces the Z-plot-style
+// curves, the per-clock tables, and the energy-optimal summary with the
+// expected memory-bound vs compute-bound contrast.
+func TestFigEnergyClock(t *testing.T) {
+	ctx, sb, dir := quickCtx(t)
+	if err := FigEnergyClock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"wall time vs energy across the clock ladder",
+		"energy-optimal operating points",
+		"memory-bound", "compute-bound",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frequency study output missing %q", want)
+		}
+	}
+	for _, f := range []string{
+		"figclock_zplot_ClusterA.csv", "figclock_zplot_ClusterB.csv",
+		"figclock_points_ClusterA.csv", "figclock_points_ClusterB.csv",
+		"figclock_optimal.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
 	}
 }
 

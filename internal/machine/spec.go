@@ -20,6 +20,7 @@ package machine
 import (
 	"fmt"
 
+	"github.com/spechpc/spechpc-sim/internal/dvfs"
 	"github.com/spechpc/spechpc-sim/internal/units"
 )
 
@@ -98,6 +99,11 @@ type CPUSpec struct {
 	// DRAMEnergyPerByte converts memory traffic to DRAM dynamic energy
 	// (J/B); equivalently watts per byte/s of sustained bandwidth.
 	DRAMEnergyPerByte float64
+
+	// DVFS describes the admissible clock ladder and how the per-core
+	// dynamic power terms scale with frequency (see ClusterSpec.WithClock).
+	// The zero value pins the part at BaseClockHz.
+	DVFS dvfs.Model
 }
 
 // CoresPerNode returns the number of physical cores in one node.
@@ -186,9 +192,62 @@ func (cs *ClusterSpec) Place(rank int) Placement {
 	}
 }
 
+// WithClock derives a copy of the cluster running at a different core
+// clock. The requested frequency is snapped to the CPU's DVFS ladder and
+// must lie within [MinHz, MaxHz]; clusters without a DVFS model reject
+// every clock other than their pinned BaseClockHz.
+//
+// Scaling follows the dvfs model: BaseClockHz moves (so all in-core
+// peaks — SIMD, scalar — re-derive with it), the private per-core L2
+// bandwidth scales linearly (the L2 runs at core clock), and the three
+// per-core dynamic power terms scale with f*V(f)^2. Everything served by
+// the uncore or the memory subsystem — shared L3 bandwidth, saturated
+// DRAM bandwidth, the socket power baseline, DRAM power — is held flat,
+// which is what makes reduced clocks nearly free for memory-bound
+// kernels. The derived spec is revalidated before it is returned.
+func (cs *ClusterSpec) WithClock(hz float64) (*ClusterSpec, error) {
+	cpu := &cs.CPU
+	if !cpu.DVFS.Enabled() {
+		if hz == cpu.BaseClockHz {
+			out := *cs
+			return &out, nil
+		}
+		return nil, fmt.Errorf("machine: %s has no DVFS model; clock pinned at %s",
+			cs.Name, units.Frequency(cpu.BaseClockHz))
+	}
+	if hz < cpu.DVFS.MinHz || hz > cpu.DVFS.MaxHz {
+		return nil, fmt.Errorf("machine: %s clock %s outside DVFS range [%s, %s]",
+			cs.Name, units.Frequency(hz),
+			units.Frequency(cpu.DVFS.MinHz), units.Frequency(cpu.DVFS.MaxHz))
+	}
+	q := cpu.DVFS.Quantize(hz)
+	out := *cs
+	c := &out.CPU
+	// Power terms are stored at the current clock; rescaling by the
+	// factor ratio keeps WithClock exact under composition
+	// (a.WithClock(x).WithClock(y) == a.WithClock(y)).
+	pf := c.DVFS.PowerFactor(q) / c.DVFS.PowerFactor(c.BaseClockHz)
+	c.CoreDynMaxPower *= pf
+	c.CoreStallPower *= pf
+	c.CoreMPIPower *= pf
+	c.L2BandwidthPerCore *= q / c.BaseClockHz
+	c.BaseClockHz = q
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Validate checks internal consistency of the spec.
 func (cs *ClusterSpec) Validate() error {
 	c := &cs.CPU
+	if err := c.DVFS.Validate(); err != nil {
+		return fmt.Errorf("machine: %s: %w", cs.Name, err)
+	}
+	if c.DVFS.Enabled() &&
+		(c.BaseClockHz < c.DVFS.MinHz || c.BaseClockHz > c.DVFS.MaxHz) {
+		return fmt.Errorf("machine: %s clock %g Hz outside its own DVFS range", cs.Name, c.BaseClockHz)
+	}
 	switch {
 	case c.CoresPerSocket <= 0 || c.SocketsPerNode <= 0 || c.DomainsPerSocket <= 0:
 		return fmt.Errorf("machine: %s has non-positive core/socket/domain counts", cs.Name)
@@ -246,6 +305,18 @@ func ClusterA() *ClusterSpec {
 			CoreMPIPower:       3.1,
 			DRAMIdlePerDomain:  7.0,
 			DRAMEnergyPerByte:  9.0 / (76.5 * units.G), // 16 W at saturation
+
+			// Ice Lake exposes 100 MHz P-state steps from 800 MHz up to
+			// the 2.4 GHz base clock the paper pins (Table 3); the power
+			// calibration above was taken at that pinned clock.
+			DVFS: dvfs.Model{
+				MinHz:  0.8e9,
+				MaxHz:  2.4e9,
+				StepHz: 0.1e9,
+				RefHz:  2.4e9,
+				VMin:   0.70,
+				VMax:   1.00,
+			},
 		},
 		MaxNodes: 16,
 	}
@@ -290,8 +361,19 @@ func ClusterB() *ClusterSpec {
 			CoreMPIPower:       2.3,
 			DRAMIdlePerDomain:  3.8,
 			DRAMEnergyPerByte:  7.0 / (60 * units.G), // ~10.8 W at saturation
+
+			// Sapphire Rapids: 100 MHz steps from 800 MHz up to the
+			// 2.0 GHz base clock the paper pins (Table 3); power constants
+			// calibrated at the pinned clock.
+			DVFS: dvfs.Model{
+				MinHz:  0.8e9,
+				MaxHz:  2.0e9,
+				StepHz: 0.1e9,
+				RefHz:  2.0e9,
+				VMin:   0.72,
+				VMax:   1.00,
+			},
 		},
 		MaxNodes: 16,
 	}
 }
-

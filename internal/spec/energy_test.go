@@ -1,0 +1,115 @@
+package spec
+
+import (
+	"math"
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+)
+
+// checkEnergyIdentity asserts the accounting invariant of one usage
+// record: reported energy equals the integrated average power times the
+// wall time, per socket and per DRAM domain.
+func checkEnergyIdentity(t *testing.T, tag string, u machine.Usage) {
+	t.Helper()
+	const tol = 1e-9
+	var chip float64
+	for _, p := range u.SocketChipPower {
+		chip += p * u.Wall
+	}
+	if rel := math.Abs(chip-u.ChipEnergy) / u.ChipEnergy; rel > tol {
+		t.Errorf("%s: chip energy %g J vs integrated power x time %g J (rel %g)",
+			tag, u.ChipEnergy, chip, rel)
+	}
+	var dram float64
+	for _, p := range u.DomainDRAMPower {
+		dram += p * u.Wall
+	}
+	if rel := math.Abs(dram-u.DRAMEnergy) / u.DRAMEnergy; rel > tol {
+		t.Errorf("%s: DRAM energy %g J vs integrated power x time %g J (rel %g)",
+			tag, u.DRAMEnergy, dram, rel)
+	}
+}
+
+// TestEnergyEqualsPowerTimesTime runs one memory-bound and one
+// compute-bound kernel and checks the identity on both the extrapolated
+// and the raw usage records, at the base clock and at a reduced clock.
+func TestEnergyEqualsPowerTimesTime(t *testing.T) {
+	a := machine.MustGet("ClusterA")
+	for _, name := range []string{"pot3d", "sph-exa"} {
+		for _, hz := range []float64{0, 1.2e9} {
+			res, err := Run(RunSpec{
+				Benchmark: name, Class: bench.Tiny, Cluster: a, Ranks: 4,
+				ClockHz: hz, Options: bench.Options{SimSteps: 1},
+			})
+			if err != nil {
+				t.Fatalf("%s at %g Hz: %v", name, hz, err)
+			}
+			tag := name
+			checkEnergyIdentity(t, tag+"/usage", res.Usage)
+			checkEnergyIdentity(t, tag+"/raw", res.RawUsage)
+		}
+	}
+}
+
+// TestComputeBoundEnergyMonotoneInClock checks the race-to-idle shape:
+// for a compute-bound kernel, total energy falls monotonically as the
+// clock rises — the baseline power term dominates the dynamic savings of
+// slower clocks.
+func TestComputeBoundEnergyMonotoneInClock(t *testing.T) {
+	a := machine.MustGet("ClusterA")
+	clocks := []float64{0.8e9, 1.2e9, 1.6e9, 2.0e9, 2.4e9}
+	var prevE, prevWall float64
+	for i, hz := range clocks {
+		res, err := Run(RunSpec{
+			Benchmark: "sph-exa", Class: bench.Tiny, Cluster: a, Ranks: 8,
+			ClockHz: hz, Options: bench.Options{SimSteps: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := res.Usage.TotalEnergy()
+		wall := res.Usage.Wall
+		if i > 0 {
+			if e >= prevE {
+				t.Errorf("energy rose from %g J to %g J when clock rose to %g Hz (want monotone fall)",
+					prevE, e, hz)
+			}
+			if wall >= prevWall {
+				t.Errorf("compute-bound wall time did not fall with clock at %g Hz", hz)
+			}
+		}
+		prevE, prevWall = e, wall
+	}
+}
+
+// TestMemoryBoundWallFlatAcrossLadder checks the other half of the DVFS
+// trade-off: a memory-bound kernel saturating its ccNUMA domain barely
+// slows down at the bottom of the ladder, and its energy minimum sits at
+// a reduced clock.
+func TestMemoryBoundWallFlatAcrossLadder(t *testing.T) {
+	a := machine.MustGet("ClusterA")
+	run := func(hz float64) machine.Usage {
+		t.Helper()
+		res, err := Run(RunSpec{
+			Benchmark: "pot3d", Class: bench.Tiny, Cluster: a,
+			Ranks:   a.CPU.CoresPerDomain(), // saturate one domain
+			ClockHz: hz, Options: bench.Options{SimSteps: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Usage
+	}
+	slow := run(a.CPU.DVFS.MinHz)
+	fast := run(a.CPU.DVFS.MaxHz)
+	if ratio := slow.Wall / fast.Wall; ratio > 1.10 {
+		t.Errorf("memory-bound wall time grew %.2fx from max to min clock (want ~flat, <= 1.10x)", ratio)
+	}
+	if slow.TotalEnergy() >= fast.TotalEnergy() {
+		t.Errorf("memory-bound energy at min clock (%g J) not below max clock (%g J)",
+			slow.TotalEnergy(), fast.TotalEnergy())
+	}
+}

@@ -27,6 +27,11 @@ type RunSpec struct {
 	Cluster *machine.ClusterSpec
 	// Ranks is the MPI process count.
 	Ranks int
+	// ClockHz overrides the core clock: the run executes on
+	// Cluster.WithClock(ClockHz), scaling in-core peaks and dynamic
+	// power per the cluster's DVFS model. Zero runs at the pinned
+	// BaseClockHz. Distinct clocks memoize independently in campaigns.
+	ClockHz float64
 	// Options tunes simulated steps / real-array scaling (zero = kernel
 	// defaults).
 	Options bench.Options
@@ -62,6 +67,16 @@ func Run(rs RunSpec) (RunResult, error) {
 	if rs.Ranks <= 0 {
 		return RunResult{}, fmt.Errorf("spec: non-positive rank count")
 	}
+	cluster := rs.Cluster
+	if rs.ClockHz > 0 {
+		cluster, err = cluster.WithClock(rs.ClockHz)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("spec: %s/%s: %w", rs.Benchmark, rs.Class, err)
+		}
+		// Report the clock the simulation actually ran at: WithClock
+		// snaps the request onto the DVFS ladder.
+		rs.ClockHz = cluster.CPU.BaseClockHz
+	}
 	rec := trace.NewRecorder(rs.Ranks, rs.KeepTrace)
 	// Rank bodies run on distinct (serially interleaved) goroutines, so
 	// the first-error and rank-0-report capture is guarded by a mutex to
@@ -70,7 +85,7 @@ func Run(rs RunSpec) (RunResult, error) {
 	var rep bench.RunReport
 	var runErr error
 	res, err := mpi.Run(mpi.Config{
-		Cluster: rs.Cluster,
+		Cluster: cluster,
 		Ranks:   rs.Ranks,
 		Trace:   rec,
 		Net:     rs.Net,

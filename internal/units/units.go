@@ -93,6 +93,15 @@ func Energy(j float64) string {
 	}
 }
 
+// Frequency formats a clock rate in Hz as GHz/MHz, the convention used
+// for DVFS clock ladders.
+func Frequency(hz float64) string {
+	if hz >= G {
+		return fmt.Sprintf("%.1f GHz", hz/G)
+	}
+	return fmt.Sprintf("%.0f MHz", hz/M)
+}
+
 // Seconds formats a duration in seconds with sensible precision.
 func Seconds(s float64) string {
 	switch {

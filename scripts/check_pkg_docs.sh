@@ -1,0 +1,25 @@
+#!/bin/sh
+# check_pkg_docs.sh verifies that every internal/ package declares a
+# package comment (a // comment block immediately preceding one
+# `package` clause), so godoc renders a synopsis for each layer.
+# CI runs it next to `go vet`; run it locally from the repo root.
+set -eu
+
+missing=0
+for dir in $(go list -f '{{.Dir}}' ./internal/...); do
+	ok=0
+	for f in "$dir"/*.go; do
+		case "$f" in *_test.go) continue ;; esac
+		# Accept both // line comments and the closing line of a /* */
+		# block comment directly above the package clause.
+		if grep -B1 -m1 '^package ' "$f" | head -n 1 | grep -Eq '^//|\*/[[:space:]]*$'; then
+			ok=1
+			break
+		fi
+	done
+	if [ "$ok" -eq 0 ]; then
+		echo "missing package comment: ${dir#"$(pwd)"/}" >&2
+		missing=1
+	fi
+done
+exit $missing
