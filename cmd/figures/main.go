@@ -6,6 +6,7 @@
 // Usage:
 //
 //	figures [-only fig1,fig5] [-out out] [-quick] [-parallel 8] [-clusters ClusterA,ClusterB] [-list]
+//	figures -only fig5 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"github.com/spechpc/spechpc-sim/internal/figures"
+	"github.com/spechpc/spechpc-sim/internal/profiling"
 )
 
 func main() {
@@ -26,7 +28,16 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "campaign worker pool size")
 	clusters := flag.String("clusters", "", "comma-separated registered cluster names (default: the paper's two)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	defer stop()
 
 	all := figures.All()
 	if *list {
@@ -59,6 +70,7 @@ func main() {
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
 		if err := e.Run(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s failed: %v\n", e.ID, err)
+			stop() // os.Exit skips the deferred flush
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s done in %.1fs\n\n", e.ID, time.Since(start).Seconds())

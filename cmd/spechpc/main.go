@@ -14,6 +14,7 @@
 //	spechpc -bench tealeaf -cluster A -ranks 1,2,4,9,18 -parallel 8
 //	spechpc -bench pot3d -cluster A -ranks 18 -clock 1.6
 //	spechpc -bench pot3d -cluster A -ranks 18 -clock-sweep ladder
+//	spechpc -bench lbm -cluster A -ranks 72 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
 	"github.com/spechpc/spechpc-sim/internal/campaign"
 	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/profiling"
 	"github.com/spechpc/spechpc-sim/internal/report"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 	"github.com/spechpc/spechpc-sim/internal/trace"
@@ -48,7 +50,16 @@ func main() {
 	clock := flag.Float64("clock", 0, "core clock in GHz (0 = the cluster's pinned base clock)")
 	clockSweep := flag.String("clock-sweep", "",
 		"frequency sweep: comma-separated GHz list, or \"ladder\" for the full DVFS ladder")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiling = stop
+	defer stop()
 
 	if *listClusters {
 		fmt.Println("registered clusters:", strings.Join(machine.Names(), ", "))
@@ -281,7 +292,12 @@ func runSweep(engine *campaign.Engine, base spec.RunSpec, points []int) error {
 	return t.Write(os.Stdout)
 }
 
+// stopProfiling flushes any active profiles; fatal exits skip deferred
+// calls, so it is invoked explicitly there (it is idempotent).
+var stopProfiling = func() {}
+
 func fatal(err error) {
+	stopProfiling()
 	fmt.Fprintln(os.Stderr, "spechpc:", err)
 	os.Exit(1)
 }

@@ -70,10 +70,9 @@ func (l *level) smooth(sweeps int) {
 		for parity := 0; parity < 2; parity++ {
 			for k := 0; k < l.n; k++ {
 				for j := 0; j < l.n; j++ {
-					for i := 0; i < l.n; i++ {
-						if (i+j+k)%2 != parity {
-							continue
-						}
+					// Step straight to the cells of this parity (same
+					// visit order as filtering every i).
+					for i := (parity + j + k) % 2; i < l.n; i += 2 {
 						nb := l.at(l.u, i-1, j, k) + l.at(l.u, i+1, j, k) +
 							l.at(l.u, i, j-1, k) + l.at(l.u, i, j+1, k) +
 							l.at(l.u, i, j, k-1) + l.at(l.u, i, j, k+1)

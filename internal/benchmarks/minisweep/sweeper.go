@@ -13,6 +13,10 @@ type sweeper struct {
 	q           float64
 	mu, eta, xi []float64 // per-angle direction cosines (positive)
 	psi         []float64 // [g][a][z][y][x] flattened
+	// outX, outY are reusable downwind-face scratch buffers: sweepBlock
+	// overwrites them fully and the caller hands them straight to Isend,
+	// which copies, so one pair per sweeper suffices.
+	outX, outY []float64
 }
 
 func newSweeper(w, h, d, na, ng int) *sweeper {
@@ -27,6 +31,8 @@ func newSweeper(w, h, d, na, ng int) *sweeper {
 		s.xi[a] = 0.2 + 0.3*float64(a)/float64(na)
 	}
 	s.psi = make([]float64, ng*na*d*h*w)
+	s.outX = make([]float64, s.faceXLen())
+	s.outY = make([]float64, s.faceYLen())
 	return s
 }
 
@@ -58,30 +64,40 @@ func (s *sweeper) sweepBlock(oct int, inX, inY []float64) (outX, outY []float64)
 		return face[i]
 	}
 
-	outX = make([]float64, s.faceXLen())
-	outY = make([]float64, s.faceYLen())
+	outX, outY = s.outX, s.outY
+	// Strides of the flattened [g][a][z][y][x] layout: moving one cell in
+	// y is w, in z is h*w; the upwind neighbors at i are i-sx, i-sy*w,
+	// and i-sz*h*w. Running row indices replace the 5-term idx() products
+	// in the innermost loop; the update expression is unchanged.
+	yStride := s.w
+	zStride := s.h * s.w
 	for g := 0; g < s.ng; g++ {
 		for a := 0; a < s.na; a++ {
-			denom := s.mu[a] + s.eta[a] + s.xi[a] + s.sigma
+			mu, eta, xi := s.mu[a], s.eta[a], s.xi[a]
+			denom := mu + eta + xi + s.sigma
+			plane := (g*s.na + a) * s.d
 			for z := zs; z != ze; z += sz {
+				faceYbase := (plane + z) * s.w
 				for y := ys; y != ye; y += sy {
+					row := ((plane+z)*s.h + y) * s.w
+					faceX := (plane+z)*s.h + y
 					for x := xs; x != xe; x += sx {
+						i := row + x
 						var px, py, pz float64
 						if x == xs {
-							px = faceAt(inX, ((g*s.na+a)*s.d+z)*s.h+y)
+							px = faceAt(inX, faceX)
 						} else {
-							px = s.psi[s.idx(g, a, z, y, x-sx)]
+							px = s.psi[i-sx]
 						}
 						if y == ys {
-							py = faceAt(inY, ((g*s.na+a)*s.d+z)*s.w+x)
+							py = faceAt(inY, faceYbase+x)
 						} else {
-							py = s.psi[s.idx(g, a, z, y-sy, x)]
+							py = s.psi[i-sy*yStride]
 						}
 						if z != zs {
-							pz = s.psi[s.idx(g, a, z-sz, y, x)]
+							pz = s.psi[i-sz*zStride]
 						}
-						s.psi[s.idx(g, a, z, y, x)] =
-							(s.q + s.mu[a]*px + s.eta[a]*py + s.xi[a]*pz) / denom
+						s.psi[i] = (s.q + mu*px + eta*py + xi*pz) / denom
 					}
 				}
 			}

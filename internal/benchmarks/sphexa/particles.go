@@ -21,6 +21,8 @@ type particles struct {
 	// cell list.
 	g     int
 	cells [][]int
+	// nbr is the reusable neighbor-candidate scratch list.
+	nbr []int
 }
 
 func newParticles(seed, side int) *particles {
@@ -136,9 +138,13 @@ func (p *particles) cellOf(x, y, z float64) int {
 	return (c(z)*p.g+c(y))*p.g + c(x)
 }
 
-// forEachNeighbor visits owned neighbor candidates of (x,y,z) using the
-// 27-cell stencil with periodic wrap in all dimensions.
-func (p *particles) forEachNeighbor(x, y, z float64, fn func(j int)) {
+// neighbors collects owned neighbor candidates of (x,y,z) into the
+// reusable scratch list using the 27-cell stencil with periodic wrap in
+// all dimensions, in deterministic stencil order. Gathering into a flat
+// slice keeps the per-candidate work in the callers' tight loops free of
+// closure dispatch.
+func (p *particles) neighbors(x, y, z float64) []int {
+	nbr := p.nbr[:0]
 	cx := int(x * float64(p.g))
 	cy := int(y * float64(p.g))
 	cz := int(z * float64(p.g))
@@ -148,12 +154,12 @@ func (p *particles) forEachNeighbor(x, y, z float64, fn func(j int)) {
 				ix := (cx + dx + p.g) % p.g
 				iy := (cy + dy + p.g) % p.g
 				iz := (cz + dz + p.g) % p.g
-				for _, j := range p.cells[(iz*p.g+iy)*p.g+ix] {
-					fn(j)
-				}
+				nbr = append(nbr, p.cells[(iz*p.g+iy)*p.g+ix]...)
 			}
 		}
 	}
+	p.nbr = nbr
+	return nbr
 }
 
 // densityPass computes SPH densities over owned + halo particles.
@@ -162,15 +168,15 @@ func (p *particles) densityPass() {
 	for i := 0; i < p.n; i++ {
 		rho := p.m * p.kernel(0) // self contribution
 		xi, yi, zi := p.x[i], p.y[i], p.z[i]
-		p.forEachNeighbor(xi, yi, zi, func(j int) {
+		for _, j := range p.neighbors(xi, yi, zi) {
 			if j == i {
-				return
+				continue
 			}
 			r := dist(xi, yi, zi, p.x[j], p.y[j], p.z[j])
 			if r < p.h {
 				rho += p.m * p.kernel(r)
 			}
-		})
+		}
 		// Halo contributions (linear scan; halo sets are small).
 		for k := range p.hx {
 			r := dist(xi, yi, zi, p.hx[k], p.hy[k], p.hz[k])
@@ -189,20 +195,20 @@ func (p *particles) forcePass() {
 		p.ax[i], p.ay[i], p.az[i] = 0, 0, 0
 		xi, yi, zi := p.x[i], p.y[i], p.z[i]
 		pi := p.cs * p.cs / p.rho[i] // P_i / rho_i^2 with P = cs^2 rho
-		p.forEachNeighbor(xi, yi, zi, func(j int) {
+		for _, j := range p.neighbors(xi, yi, zi) {
 			if j == i {
-				return
+				continue
 			}
 			r := dist(xi, yi, zi, p.x[j], p.y[j], p.z[j])
 			if r <= 1e-12 || r >= p.h {
-				return
+				continue
 			}
 			pj := p.cs * p.cs / p.rho[j]
 			f := -p.m * (pi + pj) * p.kernelGrad(r) / r
 			p.ax[i] += f * (xi - p.x[j])
 			p.ay[i] += f * (yi - p.y[j])
 			p.az[i] += f * (zi - p.z[j])
-		})
+		}
 	}
 }
 

@@ -277,3 +277,38 @@ func TestSweepAllCoversCrossProduct(t *testing.T) {
 		}
 	}
 }
+
+// TestPooledEnvReuseAcrossWorkers drives many fresh simulations through
+// a parallel worker pool, twice, so workers concurrently acquire,
+// release, and reuse pooled sim environments (event slabs, process
+// structs, resume channels). Run under -race in CI, this pins the
+// thread-safety of pooled-buffer reuse; the result comparison between
+// the two rounds pins that reuse never leaks state between jobs.
+func TestPooledEnvReuseAcrossWorkers(t *testing.T) {
+	cluster := machine.MustGet("ClusterA")
+	jobs := make([]spec.RunSpec, 0, 12)
+	for _, name := range []string{"tealeaf", "lbm", "minisweep", "pot3d"} {
+		for _, ranks := range []int{2, 4, 7} {
+			jobs = append(jobs, spec.RunSpec{
+				Benchmark: name, Class: bench.Tiny, Cluster: cluster,
+				Ranks: ranks, Options: bench.Options{SimSteps: 1},
+			})
+		}
+	}
+	run := func() []Outcome {
+		// A fresh engine per round defeats memoization, forcing every
+		// job to re-simulate on recycled environments.
+		return New(4).Run(jobs)
+	}
+	first := run()
+	second := run()
+	for i := range jobs {
+		if first[i].Err != nil || second[i].Err != nil {
+			t.Fatalf("job %d failed: %v / %v", i, first[i].Err, second[i].Err)
+		}
+		a, b := first[i].Result.Usage, second[i].Result.Usage
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("job %d: usage differs across pooled reruns:\n%+v\n%+v", i, a, b)
+		}
+	}
+}

@@ -112,3 +112,57 @@ func TestWithClockRejects(t *testing.T) {
 		t.Error("identity derivation changed the clock")
 	}
 }
+
+// TestWithClockCached pins the memoization contract: repeated requests
+// (including off-step requests snapping to the same ladder point) share
+// one derived spec identical to a fresh WithClock derivation, and error
+// paths behave exactly like the uncached method.
+func TestWithClockCached(t *testing.T) {
+	a := MustGet("ClusterA")
+	d1, err := a.WithClockCached(1.6e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.WithClockCached(1.6e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("repeated WithClockCached returned distinct derivations")
+	}
+	// An off-step request snapping to the same ladder point shares the
+	// same memo entry.
+	d3, err := a.WithClockCached(1.61e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 != d1 {
+		t.Error("snapped request did not share the ladder point's memo entry")
+	}
+	fresh, err := a.WithClock(1.6e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *fresh != *d1 {
+		t.Error("cached derivation differs from a fresh WithClock")
+	}
+	// A cluster with the same hardware but a different identity (or a
+	// mutated copy) must not collide with the cached entry.
+	b := MustGet("ClusterA")
+	b.CPU.L2PerCore *= 2
+	m1, err := b.WithClockCached(1.6e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == d1 {
+		t.Error("mutated cluster shared the unmutated cluster's memo entry")
+	}
+	if _, err := a.WithClockCached(9e9); err == nil {
+		t.Error("out-of-range clock accepted by cached path")
+	}
+	pinned := MustGet("ClusterB")
+	pinned.CPU.DVFS = dvfs.Model{}
+	if _, err := pinned.WithClockCached(1.5e9); err == nil {
+		t.Error("cluster without DVFS accepted a clock change via cache")
+	}
+}

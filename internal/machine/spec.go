@@ -19,6 +19,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/spechpc/spechpc-sim/internal/dvfs"
 	"github.com/spechpc/spechpc-sim/internal/units"
@@ -236,6 +237,45 @@ func (cs *ClusterSpec) WithClock(hz float64) (*ClusterSpec, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// clockKey identifies a WithClock derivation: the source cluster by
+// value (ClusterSpec holds only scalars, so it is a valid map key) and
+// the clock snapped onto its DVFS ladder.
+type clockKey struct {
+	spec ClusterSpec
+	hz   float64
+}
+
+// clockCache memoizes WithClock derivations process-wide. Frequency
+// sweeps submit one job per ladder point and campaigns re-submit the
+// same points for every figure; deriving and revalidating the scaled
+// spec once per (cluster, snapped clock) removes that per-job cost.
+var clockCache sync.Map // clockKey -> *ClusterSpec
+
+// WithClockCached is WithClock behind a process-wide memo keyed by
+// (cluster value, ladder-snapped clock): requests snapping to the same
+// ladder step share one derived spec, so each point validates once per
+// process. The returned spec is shared — callers must treat it as
+// immutable. Error paths (no DVFS model, clock out of range) are not
+// cached and behave exactly like WithClock.
+func (cs *ClusterSpec) WithClockCached(hz float64) (*ClusterSpec, error) {
+	cpu := &cs.CPU
+	if !cpu.DVFS.Enabled() || hz < cpu.DVFS.MinHz || hz > cpu.DVFS.MaxHz {
+		return cs.WithClock(hz)
+	}
+	key := clockKey{spec: *cs, hz: cpu.DVFS.Quantize(hz)}
+	if v, ok := clockCache.Load(key); ok {
+		return v.(*ClusterSpec), nil
+	}
+	out, err := cs.WithClock(hz)
+	if err != nil {
+		return nil, err
+	}
+	if prev, loaded := clockCache.LoadOrStore(key, out); loaded {
+		return prev.(*ClusterSpec), nil
+	}
+	return out, nil
 }
 
 // Validate checks internal consistency of the spec.

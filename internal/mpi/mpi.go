@@ -64,7 +64,19 @@ type Job struct {
 	net   *netsim.Network
 	rec   *trace.Recorder
 	ranks []*Rank
+
+	// Per-job bump arenas (sim.BumpAlloc) for protocol objects.
+	// Envelopes, requests, and messages all die with the job, so
+	// handing them out from chunks trades one allocation per object
+	// for one per chunk.
+	envChunk []envelope
+	reqChunk []Request
+	msgChunk []Message
 }
+
+func (j *Job) newEnvelope() *envelope { return sim.BumpAlloc(&j.envChunk, 128) }
+func (j *Job) newRequest() *Request   { return sim.BumpAlloc(&j.reqChunk, 128) }
+func (j *Job) newMessage() *Message   { return sim.BumpAlloc(&j.msgChunk, 128) }
 
 // Rank is one MPI process. All methods must be called from within the
 // rank's own body function.
@@ -105,7 +117,11 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 		return Result{}, err
 	}
 
-	env := sim.NewEnv()
+	// Environments come from the sim pool: event slabs, process structs,
+	// and resume channels are recycled across campaign jobs. Failed runs
+	// (deadlock, panic) are abandoned instead of released, since blocked
+	// rank goroutines may still reference the environment.
+	env := sim.AcquireEnv()
 	sys := machine.NewSystem(env, cfg.Cluster, cfg.Ranks)
 	net := netsim.New(env, cfg.Net, cfg.Cluster.NodesFor(cfg.Ranks))
 	job := &Job{env: env, sys: sys, net: net, rec: cfg.Trace}
@@ -113,7 +129,7 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 	for i := 0; i < cfg.Ranks; i++ {
 		r := &Rank{job: job, id: i, place: cfg.Cluster.Place(i)}
 		job.ranks[i] = r
-		r.proc = env.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+		r.proc = env.Spawn(rankName(i), func(p *sim.Proc) {
 			r.proc = p
 			body(r)
 			sys.RankFinished(r.id, p.Now())
@@ -123,7 +139,25 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 		return Result{}, err
 	}
 	u := sys.Usage()
+	sim.ReleaseEnv(env)
 	return Result{Usage: u, Trace: cfg.Trace, Wall: u.Wall}, nil
+}
+
+// rankNames caches process names for common rank counts so spawning a
+// job does not Sprintf once per rank.
+var rankNames = func() [1024]string {
+	var n [1024]string
+	for i := range n {
+		n[i] = fmt.Sprintf("rank%d", i)
+	}
+	return n
+}()
+
+func rankName(i int) string {
+	if i < len(rankNames) {
+		return rankNames[i]
+	}
+	return fmt.Sprintf("rank%d", i)
 }
 
 // ID returns the rank number.
@@ -176,5 +210,22 @@ func (j *Job) wake(rank int) {
 	p := j.ranks[rank].proc
 	if p.State() == sim.StateParked {
 		j.env.Wake(p)
+	}
+}
+
+// wakePair wakes ranks a and b (in that order) after a symmetric
+// completion. When both are parked the wakes share one batched queue
+// entry instead of one event per rank.
+func (j *Job) wakePair(a, b int) {
+	pa, pb := j.ranks[a].proc, j.ranks[b].proc
+	aParked := pa.State() == sim.StateParked
+	bParked := pb.State() == sim.StateParked
+	switch {
+	case aParked && bParked:
+		j.env.WakePair(pa, pb)
+	case aParked:
+		j.env.Wake(pa)
+	case bParked:
+		j.env.Wake(pb)
 	}
 }

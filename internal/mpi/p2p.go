@@ -104,14 +104,14 @@ func (r *Rank) Isend(dst, tag int, data []float64, modelBytes float64) *Request 
 	r.proc.Wait(j.net.Spec().SendOverhead)
 	r.mpiInterval(kind, t0, dst)
 
-	env := &envelope{
-		src:        r.id,
-		dst:        dst,
-		tag:        tag,
-		modelBytes: modelBytes,
-		data:       append([]float64(nil), data...),
-	}
-	req := &Request{rank: r, send: true, peer: dst, tag: tag, env: env}
+	env := j.newEnvelope()
+	env.src = r.id
+	env.dst = dst
+	env.tag = tag
+	env.modelBytes = modelBytes
+	env.data = append([]float64(nil), data...)
+	req := j.newRequest()
+	req.rank, req.send, req.peer, req.tag, req.env = r, true, dst, tag, env
 	env.sendReq = req
 	env.eager = j.net.Eager(modelBytes)
 
@@ -141,7 +141,8 @@ func (r *Rank) Irecv(src, tag int) *Request {
 	r.proc.Wait(j.net.Spec().RecvOverhead)
 	r.mpiInterval(kind, t0, src)
 
-	req := &Request{rank: r, send: false, peer: src, tag: tag}
+	req := j.newRequest()
+	req.rank, req.peer, req.tag = r, src, tag
 	if env := r.matchUnexpected(req); env != nil {
 		j.matchEnvelope(env, req)
 		return req
@@ -174,7 +175,9 @@ func (r *Rank) waitAs(q *Request, kind trace.Kind) *Message {
 	kind = r.traceKind(kind)
 	t0 := r.proc.Now()
 	for q.state != reqDone {
-		r.proc.Park(fmt.Sprintf("mpi %v rank %d", kind, r.id))
+		// The reason string is the MPI call class; Kind.String returns a
+		// constant, so parking allocates nothing.
+		r.proc.Park(kind.String())
 	}
 	r.mpiInterval(kind, t0, q.peer)
 	return q.msg
@@ -294,26 +297,42 @@ func (j *Job) matchEnvelope(env *envelope, req *Request) {
 		return
 	}
 	// Rendezvous: CTS travels back to the sender (one latency), then the
-	// data crosses the wire; both requests complete when it lands.
+	// data crosses the wire; both requests complete when it lands. The
+	// completion is symmetric — sender and receiver unblock at the same
+	// instant — so both wakeups ride one batched queue entry.
 	src, dst := j.ranks[env.src], j.ranks[env.dst]
 	lat := j.net.Latency(src.place.Node, dst.place.Node)
 	j.env.After(lat, func() {
 		j.net.StartTransfer(src.place.Node, dst.place.Node, env.modelBytes, func() {
 			env.dataArrived = true
 			env.sendReq.state = reqDone
-			j.wake(env.src)
-			j.completeRecv(env)
+			if j.finishRecv(env) {
+				j.wakePair(env.src, env.dst)
+			} else {
+				j.wake(env.src)
+			}
 		})
 	})
 }
 
-// completeRecv finishes a matched receive whose data has arrived.
-func (j *Job) completeRecv(env *envelope) {
+// finishRecv marks a matched receive whose data has arrived as complete
+// and reports whether it was newly completed (the receiver then needs a
+// wake).
+func (j *Job) finishRecv(env *envelope) bool {
 	req := env.recvReq
 	if req.state == reqDone {
-		return
+		return false
 	}
 	req.state = reqDone
-	req.msg = &Message{Src: env.src, Tag: env.tag, ModelBytes: env.modelBytes, Data: env.data}
-	j.wake(env.dst)
+	m := j.newMessage()
+	m.Src, m.Tag, m.ModelBytes, m.Data = env.src, env.tag, env.modelBytes, env.data
+	req.msg = m
+	return true
+}
+
+// completeRecv finishes a matched receive whose data has arrived.
+func (j *Job) completeRecv(env *envelope) {
+	if j.finishRecv(env) {
+		j.wake(env.dst)
+	}
 }

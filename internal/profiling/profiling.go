@@ -1,0 +1,58 @@
+// Package profiling wires runtime/pprof collection into the command-line
+// front ends, so hot-path regressions in the simulator can be diagnosed
+// with -cpuprofile / -memprofile instead of editing benchmark code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling if cpuPath is non-empty and returns a stop
+// function that finishes the CPU profile and, if memPath is non-empty,
+// writes the cumulative allocation profile ("allocs", which includes the
+// live heap) there. The stop function is idempotent and safe to call on
+// both normal and fatal exit paths. A nil error always comes with a
+// non-nil stop function.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "profiling:", err)
+				}
+			}
+			if memPath == "" {
+				return
+			}
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects are accurate
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		})
+	}
+	return stop, nil
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime/debug"
 	"sort"
+	"sync"
 )
 
 // ProcState describes what a process is currently doing. It is exported so
@@ -44,19 +45,37 @@ func (s ProcState) String() string {
 }
 
 // Env is a discrete-event simulation environment: a virtual clock, an event
-// queue, and a set of processes. An Env must be created with NewEnv. It is
-// not safe for concurrent use from multiple OS threads; all interaction
-// happens either from the goroutine that calls Run or from within process
-// functions (which the scheduler serializes).
+// queue, and a set of processes. An Env must be created with NewEnv (or
+// taken from the pool with AcquireEnv). It is not safe for concurrent use
+// from multiple OS threads; all interaction happens either from the
+// goroutine that calls Run or from within process functions (which the
+// scheduler serializes).
 type Env struct {
-	now     float64
-	seq     uint64
-	queue   eventHeap
-	procs   []*Proc
-	current *Proc
-	yieldCh chan struct{}
-	failure error
-	stopped bool
+	now float64
+	seq uint64
+
+	// slots is the event slab; freeSlots recycles indices of released
+	// events so steady-state scheduling allocates nothing.
+	slots     []eventSlot
+	freeSlots []int32
+	// heap holds future events ordered by (time, seq), keys inline.
+	heap []heapEntry
+	// nowq is a FIFO of slot indices for events scheduled at the current
+	// timestamp (wakes, zero-length waits): they are already in (time,
+	// seq) order by construction, so they bypass the heap entirely.
+	nowq    []int32
+	nowHead int
+
+	procs    []*Proc
+	procFree []*Proc
+	current  *Proc
+	yieldCh  chan struct{}
+	failure  error
+	stopped  bool
+
+	// flowChunk bump-allocates Flow structs for this run's resources;
+	// the chunks are dropped at reset, so flows never alias across runs.
+	flowChunk []Flow
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -64,31 +83,192 @@ func NewEnv() *Env {
 	return &Env{yieldCh: make(chan struct{})}
 }
 
+// envPool recycles environments — and with them event slabs, process
+// structs, and their resume channels — across simulation runs. Campaign
+// workers each acquire their own Env, so pooled reuse is race-free by
+// construction and is exercised under -race by the campaign tests.
+var envPool = sync.Pool{New: func() any { return NewEnv() }}
+
+// AcquireEnv returns a reset environment from the pool. Release it with
+// ReleaseEnv after Run completes to recycle its buffers.
+func AcquireEnv() *Env {
+	return envPool.Get().(*Env)
+}
+
+// ReleaseEnv resets e and returns it to the pool. Environments that did
+// not finish cleanly (failed runs, undrained queues, processes still
+// blocked) are abandoned to the garbage collector instead: their
+// goroutines may still hold references to internal state.
+func ReleaseEnv(e *Env) {
+	if e == nil || !e.clean() {
+		return
+	}
+	e.reset()
+	envPool.Put(e)
+}
+
+// clean reports whether the environment finished a run with no failure,
+// an empty queue, and every process completed.
+func (e *Env) clean() bool {
+	if e.failure != nil || e.current != nil {
+		return false
+	}
+	if len(e.heap) > 0 || e.nowHead < len(e.nowq) {
+		return false
+	}
+	for _, p := range e.procs {
+		if p.state != StateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// reset rewinds the environment to the zero-time state while keeping all
+// allocated capacity: the event slab, the free list, and finished process
+// structs (whose resume channels are reused by future Spawns).
+func (e *Env) reset() {
+	e.now, e.seq = 0, 0
+	e.failure = nil
+	e.stopped = false
+	for _, p := range e.procs {
+		p.fn = nil
+		p.state = StateNew
+		p.wakeTokens = 0
+		p.pending = Event{}
+		p.parkReason = ""
+		p.name = ""
+		e.procFree = append(e.procFree, p)
+	}
+	e.procs = e.procs[:0]
+	e.nowq, e.nowHead = e.nowq[:0], 0
+	e.flowChunk = nil
+}
+
+// BumpAlloc hands out one zeroed *T from the chunk, growing by whole
+// chunks of n, so allocation cost is paid once per n objects. Handed-out
+// objects stay live until the chunk is dropped; use it for run-scoped
+// objects (flows, MPI protocol state) that die with their run.
+func BumpAlloc[T any](chunk *[]T, n int) *T {
+	if len(*chunk) == 0 {
+		*chunk = make([]T, n)
+	}
+	p := &(*chunk)[0]
+	*chunk = (*chunk)[1:]
+	return p
+}
+
+// allocFlow hands out one zeroed Flow from the environment's bump arena.
+func (e *Env) allocFlow() *Flow {
+	return BumpAlloc(&e.flowChunk, 256)
+}
+
 // Now returns the current virtual time in seconds.
 func (e *Env) Now() float64 { return e.now }
 
-// schedule inserts an event at absolute time t. Panics if t is in the past
-// or not a finite number, which always indicates a modeling bug.
-func (e *Env) schedule(t float64, fn func()) *Event {
+// checkTime panics on times that always indicate a modeling bug.
+func (e *Env) checkTime(t float64) {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", t))
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past: %v < now %v", t, e.now))
 	}
+}
+
+// allocSlot takes a slot from the free list (or grows the slab), stamps
+// it with the next sequence number, and enqueues it: events at the
+// current timestamp go to the FIFO now-queue, future events to the heap.
+func (e *Env) allocSlot(t float64) int32 {
+	e.checkTime(t)
 	e.seq++
-	ev := &Event{time: t, seq: e.seq, fn: fn}
-	e.queue.push(ev)
-	return ev
+	var idx int32
+	if n := len(e.freeSlots) - 1; n >= 0 {
+		idx = e.freeSlots[n]
+		e.freeSlots = e.freeSlots[:n]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	if s.gen&1 == 1 {
+		s.gen++ // slot was last cancelled; restore the even live parity
+	}
+	s.time, s.seq = t, e.seq
+	if t == e.now {
+		s.pos = posNow
+		e.nowq = append(e.nowq, idx)
+	} else {
+		e.heapPush(idx)
+	}
+	return idx
+}
+
+// releaseSlot clears a detached slot's references and recycles its index.
+func (e *Env) releaseSlot(idx int32) {
+	s := &e.slots[idx]
+	s.fn, s.proc, s.proc2, s.flow = nil, nil, nil, nil
+	s.dead = false
+	s.pos = posDetached
+	e.freeSlots = append(e.freeSlots, idx)
+}
+
+// schedule inserts a callback event at absolute time t.
+func (e *Env) schedule(t float64, fn func()) Event {
+	idx := e.allocSlot(t)
+	s := &e.slots[idx]
+	s.kind, s.fn = evFn, fn
+	return Event{env: e, idx: idx, gen: s.gen}
+}
+
+// scheduleProc inserts a typed process event (start, resume, wake) at
+// absolute time t without allocating a closure.
+func (e *Env) scheduleProc(t float64, kind evKind, p *Proc) Event {
+	idx := e.allocSlot(t)
+	s := &e.slots[idx]
+	s.kind, s.proc = kind, p
+	return Event{env: e, idx: idx, gen: s.gen}
+}
+
+// scheduleFlow inserts a flow-completion event at absolute time t.
+func (e *Env) scheduleFlow(t float64, f *Flow) Event {
+	idx := e.allocSlot(t)
+	s := &e.slots[idx]
+	s.kind, s.flow = evFlow, f
+	return Event{env: e, idx: idx, gen: s.gen}
+}
+
+// retimeFlow moves a flow's completion event to a new time, reusing the
+// queued slot when possible. It consumes exactly one sequence number —
+// the same accounting as the cancel-plus-reschedule it replaces — so
+// event ordering is identical to the original engine's.
+func (e *Env) retimeFlow(ev Event, t float64, f *Flow) Event {
+	if ev.valid() {
+		s := &e.slots[ev.idx]
+		if s.pos >= 0 {
+			e.checkTime(t)
+			e.seq++
+			s.time, s.seq = t, e.seq
+			ent := &e.heap[s.pos]
+			ent.time, ent.seq = t, e.seq
+			e.heapFix(s.pos)
+			return ev
+		}
+		// Rare: the event sits in the now-queue (a flow that was due to
+		// complete at the current instant is being rescheduled). FIFO
+		// entries cannot move; cancel in place and start fresh.
+		ev.Cancel()
+	}
+	return e.scheduleFlow(t, f)
 }
 
 // At schedules fn to run at absolute virtual time t. The callback runs on
 // the scheduler and must not block in virtual time; use Spawn for blocking
 // logic.
-func (e *Env) At(t float64, fn func()) *Event { return e.schedule(t, fn) }
+func (e *Env) At(t float64, fn func()) Event { return e.schedule(t, fn) }
 
 // After schedules fn to run d seconds after the current time.
-func (e *Env) After(d float64, fn func()) *Event { return e.schedule(e.now+d, fn) }
+func (e *Env) After(d float64, fn func()) Event { return e.schedule(e.now+d, fn) }
 
 // Proc is a simulation process: a goroutine whose execution is interleaved
 // with other processes in virtual time. Process methods that block (Wait,
@@ -101,45 +281,54 @@ type Proc struct {
 	state      ProcState
 	resume     chan struct{}
 	wakeTokens int
-	pending    *Event // scheduled resume while in StateWaiting
+	pending    Event // scheduled resume while in StateWaiting
 	parkReason string
 	fn         func(*Proc)
 }
 
 // Spawn creates a process named name executing fn and schedules it to start
 // at the current virtual time. It returns immediately; fn runs once the
-// scheduler reaches the start event during Run.
+// scheduler reaches the start event during Run. Finished process structs
+// from a previous run of a pooled environment are reused, resume channel
+// included.
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		env:    e,
-		id:     len(e.procs),
-		name:   name,
-		state:  StateNew,
-		resume: make(chan struct{}),
-		fn:     fn,
+	var p *Proc
+	if n := len(e.procFree) - 1; n >= 0 {
+		p = e.procFree[n]
+		e.procFree = e.procFree[:n]
+	} else {
+		p = &Proc{env: e, resume: make(chan struct{})}
 	}
+	p.id = len(e.procs)
+	p.name = name
+	p.state = StateNew
+	p.fn = fn
 	e.procs = append(e.procs, p)
-	e.schedule(e.now, func() { e.startProc(p) })
+	e.scheduleProc(e.now, evStart, p)
 	return p
 }
 
 // startProc launches the process goroutine and immediately hands control to
 // it; the scheduler blocks until the process yields.
 func (e *Env) startProc(p *Proc) {
-	go func() {
-		<-p.resume
-		defer func() {
-			if r := recover(); r != nil {
-				if e.failure == nil {
-					e.failure = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
-				}
-			}
-			p.state = StateDone
-			e.yieldCh <- struct{}{}
-		}()
-		p.fn(p)
-	}()
+	go p.run()
 	e.transferTo(p)
+}
+
+// run is the body of a process goroutine.
+func (p *Proc) run() {
+	e := p.env
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if e.failure == nil {
+				e.failure = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+			}
+		}
+		p.state = StateDone
+		e.yieldCh <- struct{}{}
+	}()
+	p.fn(p)
 }
 
 // transferTo hands control to p and blocks the scheduler goroutine until p
@@ -202,16 +391,14 @@ func (p *Proc) WaitUntil(t float64) {
 		t = e.now
 	}
 	p.state = StateWaiting
-	p.pending = e.schedule(t, func() {
-		p.pending = nil
-		e.transferTo(p)
-	})
+	p.pending = e.scheduleProc(t, evResume, p)
 	p.yield()
 }
 
 // Park blocks the process until another party calls Wake or WakeAt for it.
 // If a wake token is already available (Wake happened first), Park consumes
-// it and returns immediately. The reason string appears in deadlock reports.
+// it and returns immediately. The reason string appears in deadlock
+// reports; hot paths should pass a precomputed or constant string.
 func (p *Proc) Park(reason string) {
 	p.mustBeCurrent("Park")
 	if p.wakeTokens > 0 {
@@ -236,18 +423,96 @@ func (e *Env) WakeAt(t float64, p *Proc) {
 	if p.state == StateDone {
 		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
 	}
-	e.schedule(t, func() {
-		switch p.state {
-		case StateParked:
-			e.transferTo(p)
-		case StateDone:
-			// Process finished between scheduling and firing; drop.
-		default:
-			// Running, in a timed wait, or not started: leave a token for
-			// the next Park.
-			p.wakeTokens++
+	e.scheduleProc(t, evWake, p)
+}
+
+// WakePair schedules one event at the current time that wakes a and then
+// b, exactly as two consecutive Wake calls would but with a single queue
+// entry — the batched fast path for symmetric completions (a rendezvous
+// message finishing wakes sender and receiver together).
+func (e *Env) WakePair(a, b *Proc) {
+	if a.state == StateDone || b.state == StateDone {
+		panic(fmt.Sprintf("sim: waking finished process %q/%q", a.name, b.name))
+	}
+	idx := e.allocSlot(e.now)
+	s := &e.slots[idx]
+	s.kind, s.proc, s.proc2 = evWakePair, a, b
+}
+
+// fireWake delivers one wake: a parked process resumes, a finished one
+// drops the wake, anything else (running, timed wait, not started) keeps
+// a token for its next Park.
+func (e *Env) fireWake(p *Proc) {
+	switch p.state {
+	case StateParked:
+		e.transferTo(p)
+	case StateDone:
+		// Process finished between scheduling and firing; drop.
+	default:
+		p.wakeTokens++
+	}
+}
+
+// peekNext returns the queue position of the earliest live event without
+// removing it: (slot index, whether it sits in the heap, found). Dead
+// now-queue entries (cancelled in place) are drained and released here.
+func (e *Env) peekNext() (int32, bool, bool) {
+	for e.nowHead < len(e.nowq) {
+		idx := e.nowq[e.nowHead]
+		if !e.slots[idx].dead {
+			break
 		}
-	})
+		e.nowHead++
+		e.releaseSlot(idx)
+	}
+	if e.nowHead == len(e.nowq) {
+		e.nowq, e.nowHead = e.nowq[:0], 0
+	}
+	hasNow := e.nowHead < len(e.nowq)
+	hasHeap := len(e.heap) > 0
+	switch {
+	case hasNow && hasHeap:
+		nowIdx := e.nowq[e.nowHead]
+		ns := &e.slots[nowIdx]
+		if entryLess(e.heap[0], heapEntry{time: ns.time, seq: ns.seq}) {
+			return e.heap[0].idx, true, true
+		}
+		return nowIdx, false, true
+	case hasNow:
+		return e.nowq[e.nowHead], false, true
+	case hasHeap:
+		return e.heap[0].idx, true, true
+	default:
+		return 0, false, false
+	}
+}
+
+// dispatch releases the slot and then executes the event. Releasing
+// first means the event's own callback can recycle the slot and that a
+// late Cancel on a fired event is a no-op, as before.
+func (e *Env) dispatch(idx int32) {
+	s := &e.slots[idx]
+	kind := s.kind
+	fn := s.fn
+	p, p2, flow := s.proc, s.proc2, s.flow
+	s.gen += 2 // fired: handles go stale with even parity (not cancelled)
+	e.releaseSlot(idx)
+	switch kind {
+	case evFn:
+		fn()
+	case evStart:
+		e.startProc(p)
+	case evResume:
+		p.pending = Event{}
+		e.transferTo(p)
+	case evWake:
+		e.fireWake(p)
+	case evWakePair:
+		e.fireWake(p)
+		e.fireWake(p2)
+	case evFlow:
+		flow.res.complete(flow)
+	}
 }
 
 // Run executes events until the queue is exhausted or a process panics.
@@ -262,20 +527,26 @@ func (e *Env) RunUntil(t float64) error {
 		return fmt.Errorf("sim: environment already stopped")
 	}
 	for {
-		ev := e.queue.popLive()
-		if ev == nil {
+		idx, fromHeap, ok := e.peekNext()
+		if !ok {
 			break
 		}
-		if ev.time > t {
-			// Put it back for a later RunUntil call.
-			e.queue.push(ev)
+		s := &e.slots[idx]
+		if s.time > t {
+			// Leave it queued for a later RunUntil call.
 			if e.now < t && !math.IsInf(t, 1) {
 				e.now = t
 			}
 			return e.failure
 		}
-		e.now = ev.time
-		ev.fn()
+		if fromHeap {
+			e.heapPopMin()
+		} else {
+			e.nowHead++
+			s.pos = posDetached
+		}
+		e.now = s.time
+		e.dispatch(idx)
 		if e.failure != nil {
 			e.stopped = true
 			return e.failure

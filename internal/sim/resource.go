@@ -28,6 +28,10 @@ type PSResource struct {
 
 	flows      []*Flow
 	lastUpdate float64
+	// parkTransfer and parkAwait are the Park reasons for blocked
+	// processes, precomputed so the hot path does not build strings.
+	parkTransfer string
+	parkAwait    string
 }
 
 // Flow is an in-flight transfer on a PSResource.
@@ -38,7 +42,7 @@ type Flow struct {
 	proc      *Proc
 	completed bool
 	done      func()
-	ev        *Event
+	ev        Event
 }
 
 // NewPSResource creates a processor-sharing resource. Capacity must be
@@ -48,7 +52,11 @@ func NewPSResource(env *Env, name string, capacity, flowCap float64) *PSResource
 	if capacity <= 0 || math.IsNaN(capacity) {
 		panic(fmt.Sprintf("sim: PSResource %q with non-positive capacity %v", name, capacity))
 	}
-	return &PSResource{env: env, Name: name, Capacity: capacity, FlowCap: flowCap}
+	return &PSResource{
+		env: env, Name: name, Capacity: capacity, FlowCap: flowCap,
+		parkTransfer: "transfer on " + name,
+		parkAwait:    "await flow on " + name,
+	}
 }
 
 // ActiveFlows returns the number of currently active flows.
@@ -89,7 +97,7 @@ func (r *PSResource) Transfer(p *Proc, amount float64) {
 	p.mustBeCurrent("PSResource.Transfer")
 	f := r.startFlow(amount, p, nil)
 	for !f.completed {
-		p.Park("transfer on " + r.Name)
+		p.Park(r.parkTransfer)
 	}
 }
 
@@ -98,7 +106,8 @@ func (r *PSResource) Transfer(p *Proc, amount float64) {
 // flow completes. Use Flow.Await from a process to block on completion.
 func (r *PSResource) StartFlow(amount float64, done func()) *Flow {
 	if amount <= 0 {
-		f := &Flow{res: r, completed: true}
+		f := r.env.allocFlow()
+		f.res, f.completed = r, true
 		if done != nil {
 			r.env.After(0, done)
 		}
@@ -109,7 +118,8 @@ func (r *PSResource) StartFlow(amount float64, done func()) *Flow {
 
 func (r *PSResource) startFlow(amount float64, p *Proc, done func()) *Flow {
 	r.advance()
-	f := &Flow{res: r, remaining: amount, proc: p, done: done}
+	f := r.env.allocFlow()
+	f.res, f.remaining, f.proc, f.done = r, amount, p, done
 	r.flows = append(r.flows, f)
 	r.reschedule()
 	return f
@@ -126,7 +136,7 @@ func (f *Flow) Await(p *Proc) {
 	}
 	f.proc = p
 	for !f.completed {
-		p.Park("await flow on " + f.res.Name)
+		p.Park(f.res.parkAwait)
 	}
 }
 
@@ -171,12 +181,8 @@ func (r *PSResource) reschedule() {
 	}
 	for _, f := range r.flows {
 		f.rate = rate
-		if f.ev != nil {
-			f.ev.Cancel()
-		}
-		fl := f
 		eta := r.env.now + f.remaining/rate
-		f.ev = r.env.At(eta, func() { r.complete(fl) })
+		f.ev = r.env.retimeFlow(f.ev, eta, f)
 	}
 }
 
@@ -198,6 +204,7 @@ func (r *PSResource) complete(f *Flow) {
 	f.completed = true
 	f.remaining = 0
 	f.rate = 0
+	f.ev = Event{}
 	r.reschedule()
 	if f.proc != nil && f.proc.state == StateParked {
 		r.env.Wake(f.proc)
@@ -216,6 +223,7 @@ type Semaphore struct {
 	Name    string
 	tokens  int
 	waiters []*Proc
+	parkMsg string
 }
 
 // NewSemaphore creates a semaphore with the given initial token count.
@@ -223,7 +231,7 @@ func NewSemaphore(env *Env, name string, tokens int) *Semaphore {
 	if tokens < 0 {
 		panic(fmt.Sprintf("sim: semaphore %q with negative tokens %d", name, tokens))
 	}
-	return &Semaphore{env: env, Name: name, tokens: tokens}
+	return &Semaphore{env: env, Name: name, tokens: tokens, parkMsg: "semaphore " + name}
 }
 
 // Acquire takes one token, blocking the process in virtual time until one
@@ -236,7 +244,7 @@ func (s *Semaphore) Acquire(p *Proc) {
 	}
 	s.waiters = append(s.waiters, p)
 	for {
-		p.Park("semaphore " + s.Name)
+		p.Park(s.parkMsg)
 		// We are only woken by Release after being granted a token and
 		// removed from the queue; a defensive re-check keeps FIFO intact
 		// under spurious wake tokens.

@@ -69,7 +69,9 @@ func Run(rs RunSpec) (RunResult, error) {
 	}
 	cluster := rs.Cluster
 	if rs.ClockHz > 0 {
-		cluster, err = cluster.WithClock(rs.ClockHz)
+		// Memoized: a frequency sweep derives and validates each ladder
+		// point once per process, however many jobs run at it.
+		cluster, err = cluster.WithClockCached(rs.ClockHz)
 		if err != nil {
 			return RunResult{}, fmt.Errorf("spec: %s/%s: %w", rs.Benchmark, rs.Class, err)
 		}

@@ -96,3 +96,18 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	var r *Recorder
 	r.Record(0, KindCompute, 0, 1, -1) // must not panic
 }
+
+// TestRecordAllocationFree pins the recorder's hot path: per-kind sum
+// accounting (the always-on mode campaigns use) allocates nothing.
+func TestRecordAllocationFree(t *testing.T) {
+	r := NewRecorder(4, false)
+	if a := testing.AllocsPerRun(200, func() {
+		r.Record(2, KindCompute, 1, 2, -1)
+		r.Record(3, KindRecv, 2, 3, 0)
+	}); a != 0 {
+		t.Fatalf("Recorder.Record allocates %v objects/op, want 0", a)
+	}
+	if got := r.Sum(2, KindCompute); got == 0 {
+		t.Fatal("sums not accumulated")
+	}
+}

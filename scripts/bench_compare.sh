@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# bench_compare.sh — benchmark regression gate for the simulator hot path.
+#
+# Records the sim/mpi microbenchmarks as a flat JSON file and compares a
+# fresh run against the checked-in baseline, failing on throughput
+# regressions beyond the tolerance. CI runs `compare` on every push;
+# refresh BENCH_baseline.json with `record` after intentional changes.
+#
+# Usage:
+#   scripts/bench_compare.sh record  [out.json]       # default BENCH_baseline.json
+#   scripts/bench_compare.sh compare [baseline.json]  # default BENCH_baseline.json
+#   scripts/bench_compare.sh fig5    [out.json]       # headline macro benchmark -> BENCH_pr3.json
+#
+# Environment:
+#   BENCH_TOLERANCE_PCT  allowed metric growth before compare fails (default 20)
+#   BENCH_COUNT          repetitions per benchmark; the minimum is kept (default 3)
+#   BENCH_TIME           -benchtime passed to go test (default 200x)
+#   BENCH_METRIC         ns_op (default) or allocs_op. Timings are only
+#                        comparable on the machine that recorded the
+#                        baseline — CI records its own baseline from the
+#                        parent commit on the same runner. allocs_op is
+#                        hardware-independent and suits cross-machine
+#                        comparison against the checked-in baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-compare}"
+TOL="${BENCH_TOLERANCE_PCT:-20}"
+COUNT="${BENCH_COUNT:-3}"
+BENCHTIME="${BENCH_TIME:-200x}"
+METRIC="${BENCH_METRIC:-ns_op}"
+MICRO_PKGS="./internal/sim ./internal/mpi"
+
+# run_benches <packages> <bench regex> <benchtime> <count>
+# Emits flat JSON: one line per benchmark, minimum ns/op (and its
+# B/op / allocs/op) across repetitions.
+run_benches() {
+    local pkgs="$1" regex="$2" benchtime="$3" count="$4"
+    # shellcheck disable=SC2086
+    go test -run '^$' -bench "$regex" -benchtime "$benchtime" -count "$count" -benchmem $pkgs |
+        awk '
+            $1 ~ /^Benchmark/ && $4 == "ns/op" {
+                name = $1
+                sub(/-[0-9]+$/, "", name)      # strip -cpus suffix
+                ns = $3 + 0
+                if (!(name in best) || ns < best[name]) {
+                    best[name] = ns
+                    bytes[name] = $5 + 0
+                    allocs[name] = $7 + 0
+                }
+                if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+            }
+            END {
+                if (n == 0) { print "bench_compare: no benchmark output parsed" > "/dev/stderr"; exit 1 }
+                print "{"
+                for (i = 1; i <= n; i++) {
+                    name = order[i]
+                    printf "  \"%s\": {\"ns_op\": %.1f, \"bytes_op\": %d, \"allocs_op\": %d}%s\n", \
+                        name, best[name], bytes[name], allocs[name], (i < n ? "," : "")
+                }
+                print "}"
+            }'
+}
+
+case "$MODE" in
+record)
+    OUT="${2:-BENCH_baseline.json}"
+    run_benches "$MICRO_PKGS" . "$BENCHTIME" "$COUNT" > "$OUT"
+    echo "bench_compare: recorded $(grep -c ns_op "$OUT") benchmarks to $OUT"
+    ;;
+fig5)
+    OUT="${2:-BENCH_pr3.json}"
+    run_benches "." 'BenchmarkFig5MultiNode' 1x 1 > "$OUT"
+    echo "bench_compare: recorded headline macro benchmark to $OUT"
+    ;;
+compare)
+    BASE="${2:-BENCH_baseline.json}"
+    [ -f "$BASE" ] || { echo "bench_compare: missing baseline $BASE (run: $0 record)"; exit 1; }
+    CUR="$(mktemp)"
+    trap 'rm -f "$CUR"' EXIT
+    run_benches "$MICRO_PKGS" . "$BENCHTIME" "$COUNT" > "$CUR"
+    awk -v tol="$TOL" -v metric="$METRIC" '
+        # Flat one-entry-per-line JSON: "Name": {"ns_op": N, ...}
+        function parse(line, arr,    name, pat, off) {
+            if (match(line, /"Benchmark[^"]*"/) == 0) return ""
+            name = substr(line, RSTART + 1, RLENGTH - 2)
+            pat = "\"" metric "\": [0-9.]+"
+            off = length(metric) + 4
+            if (match(line, pat) == 0) return ""
+            arr[name] = substr(line, RSTART + off, RLENGTH - off) + 0
+            return name
+        }
+        NR == FNR { parse($0, base); next }
+        { n = parse($0, cur); if (n != "") { order[++cnt] = n } }
+        END {
+            status = 0
+            printf "%-32s %14s %14s %9s   (metric: %s)\n", "benchmark", "baseline", "current", "delta", metric
+            for (i = 1; i <= cnt; i++) {
+                name = order[i]
+                if (!(name in base)) {
+                    printf "%-32s %14s %14.1f %9s\n", name, "-", cur[name], "new"
+                    continue
+                }
+                if (base[name] == 0) {
+                    # Zero baselines (e.g. allocs_op 0) cannot grow by a
+                    # percentage: any nonzero current value is a regression.
+                    flag = (cur[name] > 0) ? "  << REGRESSION" : ""
+                    if (flag != "") status = 1
+                    printf "%-32s %14.1f %14.1f %9s%s\n", name, base[name], cur[name], "-", flag
+                    delete base[name]
+                    continue
+                }
+                delta = 100 * (cur[name] - base[name]) / base[name]
+                flag = ""
+                if (delta > tol) { flag = "  << REGRESSION"; status = 1 }
+                printf "%-32s %14.1f %14.1f %+8.1f%%%s\n", name, base[name], cur[name], delta, flag
+                delete base[name]
+            }
+            for (name in base) {
+                printf "%-32s %14.1f %14s %9s  << MISSING\n", name, base[name], "-", "-"
+                status = 1
+            }
+            if (status) {
+                printf "bench_compare: FAIL — throughput regressed beyond %s%% (or benchmarks disappeared)\n", tol
+            } else {
+                printf "bench_compare: OK (tolerance %s%%)\n", tol
+            }
+            exit status
+        }' "$BASE" "$CUR"
+    ;;
+*)
+    echo "usage: $0 {record|compare|fig5} [file.json]" >&2
+    exit 2
+    ;;
+esac
