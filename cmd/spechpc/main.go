@@ -6,6 +6,11 @@
 // point of the cluster's DVFS ladder, and -clock-sweep fans the job
 // across clock points instead ("ladder" selects the full ladder).
 //
+// With -scenario it executes a declarative scenario file (see
+// docs/SCENARIOS.md) through the generic planner; with -cache-dir,
+// results persist in a content-addressed on-disk store shared across
+// processes and commands (figures reads the same store).
+//
 // Usage:
 //
 //	spechpc -list
@@ -14,6 +19,8 @@
 //	spechpc -bench tealeaf -cluster A -ranks 1,2,4,9,18 -parallel 8
 //	spechpc -bench pot3d -cluster A -ranks 18 -clock 1.6
 //	spechpc -bench pot3d -cluster A -ranks 18 -clock-sweep ladder
+//	spechpc -scenario examples/custom_scenario/scenario.json -out out
+//	spechpc -bench lbm -cluster A -ranks 72 -cache-dir ~/.cache/spechpc-sim
 //	spechpc -bench lbm -cluster A -ranks 72 -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -32,6 +39,7 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/profiling"
 	"github.com/spechpc/spechpc-sim/internal/report"
+	"github.com/spechpc/spechpc-sim/internal/scenario"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 	"github.com/spechpc/spechpc-sim/internal/trace"
 	"github.com/spechpc/spechpc-sim/internal/units"
@@ -50,6 +58,9 @@ func main() {
 	clock := flag.Float64("clock", 0, "core clock in GHz (0 = the cluster's pinned base clock)")
 	clockSweep := flag.String("clock-sweep", "",
 		"frequency sweep: comma-separated GHz list, or \"ladder\" for the full DVFS ladder")
+	scenarioFile := flag.String("scenario", "", "execute a scenario file through the generic planner")
+	outDir := flag.String("out", "", "directory for scenario CSV artifacts (empty = none)")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory (cross-process cache)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -82,6 +93,19 @@ func main() {
 		}
 		return
 	}
+	if *scenarioFile != "" {
+		sc, err := scenario.LoadFile(*scenarioFile)
+		if err != nil {
+			fatal(err)
+		}
+		engine := newEngine(*parallel, *cacheDir)
+		p := &scenario.Planner{Engine: engine}
+		if err := p.Execute(sc, os.Stdout, *outDir); err != nil {
+			fatal(err)
+		}
+		reportStats(engine, *cacheDir)
+		return
+	}
 	if *name == "" {
 		fatal(fmt.Errorf("missing -bench (try -list)"))
 	}
@@ -102,7 +126,8 @@ func main() {
 		fatal(err)
 	}
 
-	engine := campaign.New(*parallel)
+	engine := newEngine(*parallel, *cacheDir)
+	defer reportStats(engine, *cacheDir)
 	base := spec.RunSpec{
 		Benchmark: *name,
 		Class:     class,
@@ -290,6 +315,25 @@ func runSweep(engine *campaign.Engine, base spec.RunSpec, points []int) error {
 			fmt.Sprintf("%.1f", 100*u.MPIFraction()))
 	}
 	return t.Write(os.Stdout)
+}
+
+// newEngine builds the campaign engine, attaching the persistent store
+// when -cache-dir is set.
+func newEngine(workers int, cacheDir string) *campaign.Engine {
+	engine, err := campaign.NewWithCacheDir(workers, cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	return engine
+}
+
+// reportStats prints the campaign cache counters to stderr when a
+// persistent store is in play.
+func reportStats(engine *campaign.Engine, cacheDir string) {
+	if cacheDir == "" {
+		return
+	}
+	fmt.Fprintln(os.Stderr, engine.Stats())
 }
 
 // stopProfiling flushes any active profiles; fatal exits skip deferred

@@ -6,11 +6,16 @@
 // host cores.
 //
 // The engine takes a batch of spec.RunSpec jobs, deduplicates them under
-// a canonical job key, executes the unique jobs on a bounded worker pool,
-// memoizes every outcome for the lifetime of the engine (identical jobs
-// are simulated exactly once per process, however many figures ask for
-// them), and returns outcomes in deterministic input order with per-job
-// errors — one failing job never aborts its siblings.
+// a canonical content-addressed job key, executes the unique jobs on a
+// bounded worker pool, memoizes every outcome for the lifetime of the
+// engine (identical jobs are simulated exactly once per process, however
+// many figures ask for them), and returns outcomes in deterministic input
+// order with per-job errors — one failing job never aborts its siblings.
+//
+// Backed by a persistent Store (see NewWithStore), the memo additionally
+// survives the process: results are looked up in — and written through to
+// — an on-disk content-addressed cache, so re-running the same scenarios
+// in a fresh process serves them without re-simulating.
 package campaign
 
 import (
@@ -18,7 +23,6 @@ import (
 	"runtime"
 	"sync"
 
-	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 )
 
@@ -33,12 +37,26 @@ type Outcome struct {
 }
 
 // Stats counts the engine's cache behaviour. A "miss" is a fresh
-// simulation; a "hit" is a job served from the memo, whether it was
-// cached by an earlier batch or is a duplicate within the current one.
+// simulation; a "hit" is a job served from the in-process memo, whether
+// it was cached by an earlier batch or is a duplicate within the current
+// one. StoreHits count jobs served from the persistent store instead of
+// simulating; StoreFaults count store read/write errors (each such job
+// falls back to a fresh simulation, so faults never lose results).
 type Stats struct {
-	Jobs   int
-	Hits   int
-	Misses int
+	Jobs        int
+	Hits        int
+	Misses      int
+	StoreHits   int
+	StoreFaults int
+}
+
+// String renders the counters in the stable one-line form the CLIs print
+// to stderr when a persistent store is attached. The field names are
+// load-bearing: scripts/warm_cache_check.sh parses them to assert a warm
+// store serves a repeated run with fresh-sims=0.
+func (s Stats) String() string {
+	return fmt.Sprintf("campaign: jobs=%d memo-hits=%d store-hits=%d fresh-sims=%d store-faults=%d",
+		s.Jobs, s.Hits, s.StoreHits, s.Misses, s.StoreFaults)
 }
 
 // entry is one memoized job. done is closed after res/err are written,
@@ -51,13 +69,23 @@ type entry struct {
 	err  error
 }
 
+// task pairs a memo entry with the job that fills it and its canonical
+// key (computed once at submission, reused for the store round trip).
+type task struct {
+	ent *entry
+	rs  spec.RunSpec
+	key string
+}
+
 // Engine executes campaigns. The zero value is not usable; construct
-// with New. An Engine is safe for concurrent use.
+// with New or NewWithStore. An Engine is safe for concurrent use.
 type Engine struct {
 	workers int
 	// sem bounds in-flight simulations engine-wide, so the worker cap
 	// holds even across concurrent Run calls.
 	sem chan struct{}
+	// store is the persistent second-level cache (nil = in-process only).
+	store Store
 
 	mu    sync.Mutex
 	cache map[string]*entry
@@ -67,18 +95,47 @@ type Engine struct {
 // New returns an engine running at most workers simulations at once.
 // workers <= 0 selects runtime.NumCPU().
 func New(workers int) *Engine {
+	return NewWithStore(workers, nil)
+}
+
+// NewWithStore returns an engine whose in-process memo is backed by a
+// persistent store: jobs missing from the memo are looked up in the store
+// before simulating, and freshly simulated results are written through.
+// Jobs that keep full event traces (RunSpec.KeepTrace) bypass the store —
+// event timelines are not persisted — and failed jobs are never written,
+// so transient faults cannot poison a shared cache. A nil store behaves
+// exactly like New.
+func NewWithStore(workers int, store Store) *Engine {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	return &Engine{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
+		store:   store,
 		cache:   map[string]*entry{},
 	}
 }
 
+// NewWithCacheDir returns an engine backed by an on-disk store rooted at
+// cacheDir, or a store-less engine when cacheDir is empty — the one-stop
+// constructor behind both CLIs' -cache-dir flag.
+func NewWithCacheDir(workers int, cacheDir string) (*Engine, error) {
+	if cacheDir == "" {
+		return New(workers), nil
+	}
+	st, err := NewDirStore(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithStore(workers, st), nil
+}
+
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Store returns the persistent store backing the engine (nil if none).
+func (e *Engine) Store() Store { return e.store }
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() Stats {
@@ -87,36 +144,13 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
-// Key returns the canonical identity of a job: two specs with equal keys
-// describe the same simulation and may share a memoized result. The
-// cluster is keyed by value, not by pointer, so two independently
-// resolved (or mutated) ClusterSpec instances only collide when they
-// describe identical hardware. The clock override is part of the key —
-// quantized onto the cluster's DVFS ladder, since that is the clock the
-// run executes at — so every distinct frequency point memoizes
-// independently and requests snapping to the same ladder step share one
-// simulation.
-func Key(rs spec.RunSpec) string {
-	var cl machine.ClusterSpec
-	if rs.Cluster != nil {
-		cl = *rs.Cluster
-	}
-	hz := rs.ClockHz
-	if hz > 0 {
-		hz = cl.CPU.DVFS.Quantize(hz)
-	}
-	return fmt.Sprintf("%s|%v|%d|%g|%+v|%t|%+v|%+v",
-		rs.Benchmark, rs.Class, rs.Ranks, hz, rs.Options, rs.KeepTrace, rs.Net, cl)
-}
-
 // Run executes a campaign and returns one Outcome per job, in input
 // order. Jobs already memoized (or duplicated within the batch) are
-// served from cache; the rest run on the worker pool.
+// served from the in-process memo, then from the persistent store if one
+// is attached; the rest run on the worker pool. At most Workers()
+// goroutines are spawned per call no matter the batch size, so
+// 10k-job scenario batches do not create 10k parked goroutines.
 func (e *Engine) Run(jobs []spec.RunSpec) []Outcome {
-	type task struct {
-		ent *entry
-		rs  spec.RunSpec
-	}
 	ents := make([]*entry, len(jobs))
 	var fresh []task
 	e.mu.Lock()
@@ -129,25 +163,34 @@ func (e *Engine) Run(jobs []spec.RunSpec) []Outcome {
 		} else {
 			ent = &entry{done: make(chan struct{})}
 			e.cache[k] = ent
-			fresh = append(fresh, task{ent, rs})
-			e.stats.Misses++
+			fresh = append(fresh, task{ent, rs, k})
 		}
 		ents[i] = ent
 	}
 	e.mu.Unlock()
 
-	var wg sync.WaitGroup
-	for _, t := range fresh {
-		wg.Add(1)
-		go func(t task) {
-			defer wg.Done()
-			e.sem <- struct{}{}
-			defer func() { <-e.sem }()
-			t.ent.res, t.ent.err = spec.Run(t.rs)
-			close(t.ent.done)
-		}(t)
+	if len(fresh) > 0 {
+		workers := e.workers
+		if workers > len(fresh) {
+			workers = len(fresh)
+		}
+		next := make(chan task)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for t := range next {
+					e.exec(t)
+				}
+			}()
+		}
+		for _, t := range fresh {
+			next <- t
+		}
+		close(next)
+		wg.Wait()
 	}
-	wg.Wait()
 
 	out := make([]Outcome, len(jobs))
 	for i, rs := range jobs {
@@ -155,6 +198,45 @@ func (e *Engine) Run(jobs []spec.RunSpec) []Outcome {
 		out[i] = Outcome{Job: rs, Result: ents[i].res, Err: ents[i].err}
 	}
 	return out
+}
+
+// exec fills one memo entry: persistent-store lookup first (when
+// attached and the job is storable), then a fresh simulation with
+// write-through. The engine-wide semaphore bounds concurrent work across
+// overlapping Run calls.
+func (e *Engine) exec(t task) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	defer close(t.ent.done)
+
+	storable := e.store != nil && !t.rs.KeepTrace
+	if storable {
+		rec, ok, err := e.store.Get(t.key)
+		if err != nil {
+			e.count(func(s *Stats) { s.StoreFaults++ })
+		} else if ok {
+			if res, valid := rec.result(); valid {
+				t.ent.res = res
+				e.count(func(s *Stats) { s.StoreHits++ })
+				return
+			}
+		}
+	}
+
+	e.count(func(s *Stats) { s.Misses++ })
+	t.ent.res, t.ent.err = spec.Run(t.rs)
+	if storable && t.ent.err == nil {
+		if err := e.store.Put(t.key, newRecord(t.key, t.ent.res)); err != nil {
+			e.count(func(s *Stats) { s.StoreFaults++ })
+		}
+	}
+}
+
+// count applies a stats mutation under the engine lock.
+func (e *Engine) count(f func(*Stats)) {
+	e.mu.Lock()
+	f(&e.stats)
+	e.mu.Unlock()
 }
 
 // Sweep runs one benchmark over a list of rank counts through the engine
@@ -201,8 +283,7 @@ func (e *Engine) SweepAll(names []string, base spec.RunSpec, points []int) (map[
 			o := outs[i]
 			i++
 			if o.Err != nil {
-				return nil, fmt.Errorf("campaign: sweep %s/%v on %s: %w",
-					name, base.Class, clusterName(base), o.Err)
+				return nil, fmt.Errorf("campaign: sweep %s: %w", jobDesc(o.Job), o.Err)
 			}
 			results[j] = o.Result
 		}
@@ -241,11 +322,4 @@ func (e *Engine) FrequencySweep(base spec.RunSpec, clocks []float64) ([]spec.Run
 		results[i] = o.Result
 	}
 	return results, nil
-}
-
-func clusterName(rs spec.RunSpec) string {
-	if rs.Cluster == nil {
-		return "<nil cluster>"
-	}
-	return rs.Cluster.Name
 }

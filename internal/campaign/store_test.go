@@ -1,0 +1,265 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+)
+
+var _ Store = (*DirStore)(nil)
+
+// TestStoreServesAcrossEngines is the cross-process cache contract,
+// modeled with two engines sharing one directory: the first engine
+// simulates and writes through; a second (fresh-process stand-in) serves
+// the same jobs entirely from the store, with zero fresh simulations and
+// results identical to the originals — including the per-kind trace sums
+// the figure insets read.
+func TestStoreServesAcrossEngines(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []spec.RunSpec{counterJob(1), counterJob(2)}
+
+	before := simCount.Load()
+	e1 := NewWithStore(2, st)
+	first := e1.Run(jobs)
+	for i, o := range first {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+	}
+	if got := simCount.Load() - before; got != 3 {
+		t.Fatalf("first engine executed on %d ranks, want 3", got)
+	}
+	if s := e1.Stats(); s.Misses != 2 || s.StoreHits != 0 || s.StoreFaults != 0 {
+		t.Errorf("first engine stats = %+v, want 2 misses, no store hits/faults", s)
+	}
+	if n, err := st.Len(); err != nil || n != 2 {
+		t.Fatalf("store holds %d records (err %v), want 2", n, err)
+	}
+
+	e2 := NewWithStore(2, st)
+	second := e2.Run(jobs)
+	if got := simCount.Load() - before; got != 3 {
+		t.Errorf("second engine re-simulated: %d ranks executed, want still 3", got)
+	}
+	if s := e2.Stats(); s.StoreHits != 2 || s.Misses != 0 {
+		t.Errorf("second engine stats = %+v, want 2 store hits and 0 misses", s)
+	}
+	for i := range jobs {
+		a, b := first[i].Result, second[i].Result
+		if !reflect.DeepEqual(a.Usage, b.Usage) || !reflect.DeepEqual(a.RawUsage, b.RawUsage) {
+			t.Errorf("job %d: usage round-tripped inexactly:\n%+v\nvs\n%+v", i, a.Usage, b.Usage)
+		}
+		if !reflect.DeepEqual(a.Report, b.Report) {
+			t.Errorf("job %d: report differs after store round trip", i)
+		}
+		if !reflect.DeepEqual(a.Spec.Cluster, b.Spec.Cluster) || a.Spec.Benchmark != b.Spec.Benchmark ||
+			a.Spec.ClockHz != b.Spec.ClockHz || a.Spec.Ranks != b.Spec.Ranks {
+			t.Errorf("job %d: spec differs after store round trip", i)
+		}
+		if !reflect.DeepEqual(a.Trace.Sums(), b.Trace.Sums()) {
+			t.Errorf("job %d: trace sums differ after store round trip", i)
+		}
+	}
+}
+
+// TestKeepTraceBypassesStore checks that jobs recording full event
+// timelines neither write to nor read from the persistent store (event
+// lists are not serialized), while still memoizing in process.
+func TestKeepTraceBypassesStore(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := counterJob(1)
+	job.KeepTrace = true
+
+	e := NewWithStore(2, st)
+	if out := e.Run([]spec.RunSpec{job}); out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if n, _ := st.Len(); n != 0 {
+		t.Errorf("KeepTrace job persisted %d records, want 0", n)
+	}
+	// In-process memo still applies.
+	e.Run([]spec.RunSpec{job})
+	if s := e.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+	// A fresh engine must re-simulate.
+	before := simCount.Load()
+	NewWithStore(2, st).Run([]spec.RunSpec{job})
+	if simCount.Load() == before {
+		t.Error("KeepTrace job served from store instead of re-simulating")
+	}
+}
+
+// TestErrorsNotPersisted checks failing jobs never poison the store.
+func TestErrorsNotPersisted(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := spec.RunSpec{Benchmark: "no-such-kernel", Class: bench.Tiny,
+		Cluster: machine.MustGet("ClusterA"), Ranks: 1}
+	e := NewWithStore(2, st)
+	if out := e.Run([]spec.RunSpec{bad}); out[0].Err == nil {
+		t.Fatal("bad job succeeded")
+	}
+	if n, _ := st.Len(); n != 0 {
+		t.Errorf("failed job persisted %d records, want 0", n)
+	}
+}
+
+// TestCorruptRecordRepaired truncates a persisted record and checks the
+// next engine counts a fault, re-simulates, and rewrites a good record.
+func TestCorruptRecordRepaired(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := counterJob(1)
+	if out := NewWithStore(1, st).Run([]spec.RunSpec{job}); out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	var file string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			file = path
+		}
+		return nil
+	})
+	if file == "" {
+		t.Fatal("no record written")
+	}
+	if err := os.WriteFile(file, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewWithStore(1, st)
+	if out := e.Run([]spec.RunSpec{job}); out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if s := e.Stats(); s.StoreFaults == 0 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want a recorded fault and one fresh simulation", s)
+	}
+	if rec, ok, err := st.Get(Key(job)); err != nil || !ok || rec.Bench != job.Benchmark {
+		t.Errorf("corrupt record not repaired: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestTruncatedTraceSumsDegradeToMiss checks a record whose trace
+// snapshot does not cover the job's ranks is rejected at load (and
+// re-simulated) instead of reconstructing a short Recorder that would
+// panic renderers indexing per-rank sums.
+func TestTruncatedTraceSumsDegradeToMiss(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := counterJob(2)
+	key := Key(job)
+	if out := NewWithStore(1, st).Run([]spec.RunSpec{job}); out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	rec, ok, err := st.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("record not written: ok=%v err=%v", ok, err)
+	}
+	rec.TraceSums = nil // valid JSON, wrong shape
+	if err := st.Put(key, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewWithStore(1, st)
+	outs := e.Run([]spec.RunSpec{job})
+	if outs[0].Err != nil {
+		t.Fatal(outs[0].Err)
+	}
+	if got := outs[0].Result.Trace.Ranks(); got != 2 {
+		t.Errorf("reconstructed trace covers %d ranks, want 2", got)
+	}
+	if s := e.Stats(); s.Misses != 1 || s.StoreHits != 0 {
+		t.Errorf("stats = %+v, want the malformed record treated as a miss", s)
+	}
+}
+
+// gate coordination for the goroutine-bound test. The gate kernel blocks
+// its rank-0 body on gateCh, stalling the simulation from inside, so the
+// test can observe how many goroutines a large batch spawns mid-flight.
+var (
+	gateCh      chan struct{}
+	gateStarted atomic.Int64
+)
+
+func init() {
+	bench.Register(&bench.Benchmark{
+		ID:   91,
+		Name: "campaign-gate",
+		Run: func(r *mpi.Rank, c bench.Class, o bench.Options) (bench.RunReport, error) {
+			gateStarted.Add(1)
+			<-gateCh
+			r.Compute(machine.Phase{Name: "gate", FlopsSIMD: 1e6, BytesMem: 1e4})
+			rep := bench.RunReport{StepsModeled: 1, StepsSimulated: 1}
+			if r.ID() == 0 {
+				rep.Checks = []bench.Check{{Name: "synthetic", Value: 0, OK: true}}
+			}
+			return rep, nil
+		},
+	})
+}
+
+// TestRunSpawnsBoundedGoroutines submits a 48-job batch on a 2-worker
+// engine and samples the process goroutine count while the first jobs
+// are stalled inside the simulator. The engine must spawn at most
+// `workers` executor goroutines — not one parked goroutine per fresh job,
+// which is what a 10k-job scenario batch would otherwise pay.
+func TestRunSpawnsBoundedGoroutines(t *testing.T) {
+	gateCh = make(chan struct{})
+	gateStarted.Store(0)
+	jobs := make([]spec.RunSpec, 48)
+	for i := range jobs {
+		jobs[i] = spec.RunSpec{
+			Benchmark: "campaign-gate", Class: bench.Tiny,
+			Cluster: machine.MustGet("ClusterA"), Ranks: 1,
+			Options: bench.Options{SimSteps: i + 1}, // distinct keys, no dedup
+		}
+	}
+	baseline := runtime.NumGoroutine()
+	done := make(chan []Outcome, 1)
+	go func() { done <- New(2).Run(jobs) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for gateStarted.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate jobs never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	inFlight := runtime.NumGoroutine() - baseline
+	close(gateCh)
+	outs := <-done
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+	}
+	// 2 workers + their in-flight simulations + the Run caller is well
+	// under 24 goroutines; one goroutine per fresh job would be 48+.
+	if inFlight >= 24 {
+		t.Errorf("batch of 48 jobs held %d extra goroutines mid-flight; want bounded by the worker pool", inFlight)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/report"
+	"github.com/spechpc/spechpc-sim/internal/scenario"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 	"github.com/spechpc/spechpc-sim/internal/units"
 )
@@ -33,12 +34,10 @@ func clockKernels() (memBound, computeBound string) {
 
 // clockLadder returns the frequency sweep points for a cluster; Quick
 // mode keeps only the endpoints and the midpoint of the DVFS ladder.
+// Delegates to the scenario axis resolver so the figclock plan and this
+// renderer can never disagree about the points.
 func (ctx *Context) clockLadder(cs *machine.ClusterSpec) []float64 {
-	ladder := cs.CPU.DVFS.Ladder()
-	if ctx.Quick && len(ladder) > 3 {
-		return []float64{ladder[0], ladder[len(ladder)/2], ladder[len(ladder)-1]}
-	}
-	return ladder
+	return scenario.ClockLadder(cs, ctx.Quick)
 }
 
 // FigEnergyClock is the DVFS frequency study: each contrast kernel runs
@@ -50,6 +49,11 @@ func (ctx *Context) clockLadder(cs *machine.ClusterSpec) []float64 {
 // power), while compute-bound kernels pay wall time — and, with a 40-50%
 // idle floor, baseline energy — for every lost MHz.
 func FigEnergyClock(ctx *Context) error {
+	return ctx.runPlan(figclockScenario, renderFigEnergyClock)
+}
+
+// renderFigEnergyClock renders the frequency study from the warm memo.
+func renderFigEnergyClock(ctx *Context) error {
 	clusters, err := ctx.clusterSpecs()
 	if err != nil {
 		return err

@@ -3,15 +3,21 @@
 // bandwidth/volume, power, energy (Sect. 4, tiny suite) and multi-node
 // scaling, power, and energy (Sect. 5, small suite).
 //
-// Each experiment renders ASCII tables/plots to the context writer and
-// CSV files into the output directory. cmd/figures is the command-line
-// front end; the root-level benchmark harness drives the same functions.
+// Each experiment is a built-in scenario: its job plan (benchmarks,
+// clusters, rank/clock axes) is a declarative scenario.Scenario value in
+// scenarios.go, and running an experiment first warms the campaign
+// engine with the whole plan through the shared scenario planner, then
+// renders the paper's bespoke tables/plots from the memoized results.
+// Tables and ASCII plots go to the context writer, CSV files into the
+// output directory. cmd/figures is the command-line front end; the
+// root-level benchmark harness drives the same functions.
 //
 // All simulations go through one campaign engine per context, so jobs
 // run in parallel on the host and every (benchmark, cluster, class,
 // ranks) point is simulated at most once per process no matter how many
 // experiments ask for it (Fig. 5, Fig. 6, and the scaling-case table all
-// share the multi-node sweeps).
+// share the multi-node sweeps). Attach a persistent store to the engine
+// and results survive the process too.
 package figures
 
 import (
@@ -24,6 +30,7 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/campaign"
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/report"
+	"github.com/spechpc/spechpc-sim/internal/scenario"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 )
 
@@ -131,33 +138,46 @@ func (ctx *Context) saveSeriesCSV(name, xName string, series []report.Series) er
 	return report.SeriesCSV(f, xName, series)
 }
 
+// planner returns the shared scenario planner view of the context: same
+// engine, same quick mode, same default clusters, so a scenario's
+// expanded plan is exactly the job set the renderers request.
+func (ctx *Context) planner() *scenario.Planner {
+	return &scenario.Planner{
+		Engine:          ctx.engine(),
+		Quick:           ctx.Quick,
+		DefaultClusters: ctx.Clusters,
+	}
+}
+
+// runPlan executes one built-in experiment: warm the engine with the
+// declarative scenario plan (one parallel campaign batch), then render
+// the paper artifact from the memoized results. Per-job failures are
+// surfaced by the renderer, which has the experiment context for error
+// messages.
+func (ctx *Context) runPlan(plan func(*Context) *scenario.Scenario, render func(*Context) error) error {
+	if plan != nil {
+		if sc := plan(ctx); sc != nil {
+			if err := ctx.planner().Warm(sc); err != nil {
+				return err
+			}
+		}
+	}
+	return render(ctx)
+}
+
 // nodePoints returns the node-level sweep points for a cluster.
 func (ctx *Context) nodePoints(cs *machine.ClusterSpec) []int {
-	if !ctx.Quick {
-		return spec.NodePoints(cs)
-	}
-	cpd := cs.CPU.CoresPerDomain()
-	cps := cs.CPU.CoresPerSocket
-	cpn := cs.CPU.CoresPerNode()
-	return dedupSorted([]int{1, 2, 4, cpd / 2, cpd, 2 * cpd, cps, cpn})
+	return scenario.NodePoints(cs, ctx.Quick)
 }
 
 // domainPoints returns the within-domain sweep points (Fig. 3/4).
 func (ctx *Context) domainPoints(cs *machine.ClusterSpec) []int {
-	cpd := cs.CPU.CoresPerDomain()
-	if !ctx.Quick {
-		return spec.DomainPoints(cs)
-	}
-	return dedupSorted([]int{1, 2, 4, cpd / 2, cpd})
+	return scenario.DomainPoints(cs, ctx.Quick)
 }
 
 // multiPoints returns multi-node sweep points (Fig. 5/6).
 func (ctx *Context) multiPoints(cs *machine.ClusterSpec) []int {
-	if !ctx.Quick {
-		return spec.MultiNodePoints(cs)
-	}
-	cpn := cs.CPU.CoresPerNode()
-	return []int{cpn, 2 * cpn, 4 * cpn}
+	return scenario.MultiNodePoints(cs, ctx.Quick)
 }
 
 // steps returns the per-kernel simulated step override.
@@ -195,49 +215,36 @@ func (ctx *Context) run(rs spec.RunSpec) (spec.RunResult, error) {
 	return out[0].Result, out[0].Err
 }
 
-func dedupSorted(v []int) []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, x := range v {
-		if x > 0 && !seen[x] {
-			seen[x] = true
-			out = append(out, x)
-		}
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
 // Experiment is one regenerable artifact of the paper.
 type Experiment struct {
 	// ID is the short name used with -only (e.g. "fig1", "table3").
 	ID string
 	// Title describes the paper artifact.
 	Title string
-	// Run produces the artifact.
+	// Scenario returns the experiment's declarative job plan, executed
+	// through the shared planner before rendering; nil for table-only
+	// experiments that run no simulations.
+	Scenario func(*Context) *scenario.Scenario
+	// Run produces the artifact (warm the plan, then render).
 	Run func(*Context) error
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"table1", "Table 1: benchmark attributes and workload inputs", Table1},
-		{"table2", "Table 2: numerics and application domains", Table2},
-		{"table3", "Table 3: hardware and software attributes", Table3},
-		{"fig1", "Fig. 1: node-level speedup and (AVX-)DP performance", Fig1},
-		{"eff", "Sect. 4.1.1: parallel efficiency table (domain baseline)", TextEfficiency},
-		{"accel", "Sect. 4.1.2: ClusterB over ClusterA acceleration factors", TextAcceleration},
-		{"simd", "Sect. 4.1.3: vectorization ratios", TextSIMD},
-		{"fig2", "Fig. 2: bandwidths, data volumes, and ITAC-style insets", Fig2},
-		{"fig3", "Fig. 3: CPU and DRAM power", Fig3},
-		{"fig4", "Fig. 4: energy Z-plots and total energy", Fig4},
-		{"fig5", "Fig. 5: multi-node scaling, bandwidth, volume (small suite)", Fig5},
-		{"cases", "Sect. 5.1.1: scaling-case classification", TextCases},
-		{"fig6", "Fig. 6: multi-node power and energy", Fig6},
-		{"figclock", "Frequency study: energy/EDP across the DVFS clock ladder", FigEnergyClock},
+		{"table1", "Table 1: benchmark attributes and workload inputs", nil, Table1},
+		{"table2", "Table 2: numerics and application domains", nil, Table2},
+		{"table3", "Table 3: hardware and software attributes", nil, Table3},
+		{"fig1", "Fig. 1: node-level speedup and (AVX-)DP performance", fig1Scenario, Fig1},
+		{"eff", "Sect. 4.1.1: parallel efficiency table (domain baseline)", nodeSweepScenario, TextEfficiency},
+		{"accel", "Sect. 4.1.2: ClusterB over ClusterA acceleration factors", nodeSweepScenario, TextAcceleration},
+		{"simd", "Sect. 4.1.3: vectorization ratios", simdScenario, TextSIMD},
+		{"fig2", "Fig. 2: bandwidths, data volumes, and ITAC-style insets", fig2Scenario, Fig2},
+		{"fig3", "Fig. 3: CPU and DRAM power", domainAndNodeScenario, Fig3},
+		{"fig4", "Fig. 4: energy Z-plots and total energy", domainAndNodeScenario, Fig4},
+		{"fig5", "Fig. 5: multi-node scaling, bandwidth, volume (small suite)", multiNodeScenario, Fig5},
+		{"cases", "Sect. 5.1.1: scaling-case classification", casesScenario, TextCases},
+		{"fig6", "Fig. 6: multi-node power and energy", multiNodeScenario, Fig6},
+		{"figclock", "Frequency study: energy/EDP across the DVFS clock ladder", figclockScenario, FigEnergyClock},
 	}
 }

@@ -22,9 +22,13 @@ func (ctx *Context) multiSweepAll(cs *machine.ClusterSpec) (map[string][]spec.Ru
 	return out, nil
 }
 
-// Fig5 renders multi-node speedup, per-node memory bandwidth, and
+// Fig5 runs the Fig. 5 experiment: warm the multi-node scenario plan,
+// then render.
+func Fig5(ctx *Context) error { return ctx.runPlan(multiNodeScenario, renderFig5) }
+
+// renderFig5 renders multi-node speedup, per-node memory bandwidth, and
 // aggregate memory volume for the small suite on both clusters.
-func Fig5(ctx *Context) error {
+func renderFig5(ctx *Context) error {
 	clusters, err := ctx.clusterSpecs()
 	if err != nil {
 		return err
@@ -84,8 +88,12 @@ func Fig5(ctx *Context) error {
 	return nil
 }
 
-// TextCases reproduces the Sect. 5.1.1 scaling-case classification table.
-func TextCases(ctx *Context) error {
+// TextCases runs the scaling-case experiment.
+func TextCases(ctx *Context) error { return ctx.runPlan(casesScenario, renderTextCases) }
+
+// renderTextCases reproduces the Sect. 5.1.1 scaling-case classification
+// table.
+func renderTextCases(ctx *Context) error {
 	t := report.NewTable("Sect. 5.1.1: multi-node scaling cases",
 		"benchmark", "ClusterA", "ClusterB", "paper A", "paper B")
 	// The paper's published classification for comparison.
@@ -128,8 +136,12 @@ func TextCases(ctx *Context) error {
 	return ctx.saveCSV("text_cases.csv", t)
 }
 
-// Fig6 renders multi-node total power and energy for the small suite.
-func Fig6(ctx *Context) error {
+// Fig6 runs the Fig. 6 experiment.
+func Fig6(ctx *Context) error { return ctx.runPlan(multiNodeScenario, renderFig6) }
+
+// renderFig6 renders multi-node total power and energy for the small
+// suite.
+func renderFig6(ctx *Context) error {
 	clusters, err := ctx.clusterSpecs()
 	if err != nil {
 		return err

@@ -33,9 +33,13 @@ func (ctx *Context) nodeSweepAll(cs *machine.ClusterSpec) (map[string][]spec.Run
 	return out, nil
 }
 
-// Fig1 renders node-level speedup and total-vs-AVX performance for both
-// clusters (Fig. 1a-f).
-func Fig1(ctx *Context) error {
+// Fig1 runs the Fig. 1 experiment: warm the scenario plan on the
+// campaign engine, then render.
+func Fig1(ctx *Context) error { return ctx.runPlan(fig1Scenario, renderFig1) }
+
+// renderFig1 renders node-level speedup and total-vs-AVX performance for
+// both clusters (Fig. 1a-f).
+func renderFig1(ctx *Context) error {
 	clusters, err := ctx.clusterSpecs()
 	if err != nil {
 		return err
@@ -104,9 +108,14 @@ func Fig1(ctx *Context) error {
 	return nil
 }
 
-// TextEfficiency reproduces the Sect. 4.1.1 parallel-efficiency table
-// (ccNUMA-domain baseline, percent).
+// TextEfficiency runs the parallel-efficiency experiment.
 func TextEfficiency(ctx *Context) error {
+	return ctx.runPlan(nodeSweepScenario, renderTextEfficiency)
+}
+
+// renderTextEfficiency reproduces the Sect. 4.1.1 parallel-efficiency
+// table (ccNUMA-domain baseline, percent).
+func renderTextEfficiency(ctx *Context) error {
 	t := report.NewTable("Sect. 4.1.1: parallel efficiency %, domain baseline",
 		append([]string{"Cluster"}, bench.Names()...)...)
 	clusters, err := ctx.clusterSpecs()
@@ -136,10 +145,16 @@ func TextEfficiency(ctx *Context) error {
 	return ctx.saveCSV("text_efficiency.csv", t)
 }
 
-// TextAcceleration reproduces the Sect. 4.1.2 node acceleration factors:
-// each cluster's full-node wall time relative to the first (baseline)
-// cluster of the context — ClusterB over ClusterA in the paper setup.
+// TextAcceleration runs the acceleration-factor experiment.
 func TextAcceleration(ctx *Context) error {
+	return ctx.runPlan(nodeSweepScenario, renderTextAcceleration)
+}
+
+// renderTextAcceleration reproduces the Sect. 4.1.2 node acceleration
+// factors: each cluster's full-node wall time relative to the first
+// (baseline) cluster of the context — ClusterB over ClusterA in the
+// paper setup.
+func renderTextAcceleration(ctx *Context) error {
 	clusters, err := ctx.clusterSpecs()
 	if err != nil {
 		return err
@@ -180,9 +195,12 @@ func TextAcceleration(ctx *Context) error {
 	return ctx.saveCSV("text_acceleration.csv", t)
 }
 
-// TextSIMD reproduces the Sect. 4.1.3 vectorization-ratio table (the
-// paper measures it on the Ice Lake system).
-func TextSIMD(ctx *Context) error {
+// TextSIMD runs the vectorization-ratio experiment.
+func TextSIMD(ctx *Context) error { return ctx.runPlan(simdScenario, renderTextSIMD) }
+
+// renderTextSIMD reproduces the Sect. 4.1.3 vectorization-ratio table
+// (the paper measures it on the Ice Lake system).
+func renderTextSIMD(ctx *Context) error {
 	a, err := paperCluster("ClusterA")
 	if err != nil {
 		return err
@@ -206,9 +224,13 @@ func TextSIMD(ctx *Context) error {
 	return ctx.saveCSV("text_simd.csv", t)
 }
 
-// Fig2 renders node bandwidth/volume behaviour plus the two ITAC-style
-// insets (minisweep serialization at 59 ranks, lbm straggler at 71).
-func Fig2(ctx *Context) error {
+// Fig2 runs the Fig. 2 experiment.
+func Fig2(ctx *Context) error { return ctx.runPlan(fig2Scenario, renderFig2) }
+
+// renderFig2 renders node bandwidth/volume behaviour plus the two
+// ITAC-style insets (minisweep serialization at 59 ranks, lbm straggler
+// at 71).
+func renderFig2(ctx *Context) error {
 	clusters, err := ctx.clusterSpecs()
 	if err != nil {
 		return err
@@ -360,10 +382,13 @@ func stragglerRatio(rec *trace.Recorder) float64 {
 	return slow / med
 }
 
-// Fig3 renders chip/DRAM power vs speedup on one ccNUMA domain (a, c)
-// and node-level power vs processes (b, d), including the zero-core
-// baseline extrapolation.
-func Fig3(ctx *Context) error {
+// Fig3 runs the Fig. 3 experiment.
+func Fig3(ctx *Context) error { return ctx.runPlan(domainAndNodeScenario, renderFig3) }
+
+// renderFig3 renders chip/DRAM power vs speedup on one ccNUMA domain
+// (a, c) and node-level power vs processes (b, d), including the
+// zero-core baseline extrapolation.
+func renderFig3(ctx *Context) error {
 	clusters, err := ctx.clusterSpecs()
 	if err != nil {
 		return err
@@ -453,8 +478,11 @@ func Fig3(ctx *Context) error {
 	return nil
 }
 
-// Fig4 renders the energy Z-plots (a, b) and node total energy (c).
-func Fig4(ctx *Context) error {
+// Fig4 runs the Fig. 4 experiment.
+func Fig4(ctx *Context) error { return ctx.runPlan(domainAndNodeScenario, renderFig4) }
+
+// renderFig4 renders the energy Z-plots (a, b) and node total energy (c).
+func renderFig4(ctx *Context) error {
 	clusters, err := ctx.clusterSpecs()
 	if err != nil {
 		return err

@@ -1,0 +1,362 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/campaign"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/netsim"
+	"github.com/spechpc/spechpc-sim/internal/report"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+	"github.com/spechpc/spechpc-sim/internal/units"
+)
+
+// Planner turns scenarios into campaign batches and artifacts. The zero
+// value works (fresh host-sized engine, paper clusters, full resolution);
+// share one Planner — or at least one Engine — across scenarios so their
+// overlapping jobs memoize.
+type Planner struct {
+	// Engine executes and memoizes every simulation (nil = a fresh
+	// host-sized engine on first use).
+	Engine *campaign.Engine
+	// Quick trades sweep resolution for speed (used by tests and CI).
+	Quick bool
+	// DefaultClusters resolves sweeps that name no clusters; empty means
+	// the paper's two systems.
+	DefaultClusters []string
+}
+
+// engine returns the planner's engine, creating one on first use.
+func (p *Planner) engine() *campaign.Engine {
+	if p.Engine == nil {
+		p.Engine = campaign.New(0)
+	}
+	return p.Engine
+}
+
+// Clusters resolves a sweep's cluster names through the machine
+// registry, applying the planner default for an empty list.
+func (p *Planner) Clusters(names []string) ([]*machine.ClusterSpec, error) {
+	if len(names) == 0 {
+		names = p.DefaultClusters
+	}
+	if len(names) == 0 {
+		names = []string{"ClusterA", "ClusterB"}
+	}
+	out := make([]*machine.ClusterSpec, 0, len(names))
+	for _, n := range names {
+		cs, err := machine.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// SimSteps resolves a step override: explicit values win, otherwise
+// quick mode simulates one step and full runs use the kernel default.
+func (p *Planner) SimSteps(explicit int) int {
+	if explicit != 0 {
+		return explicit
+	}
+	if p.Quick {
+		return 1
+	}
+	return 0
+}
+
+// benchNames resolves a sweep's benchmark list (empty = all registered,
+// in SPEC id order).
+func benchNames(names []string) []string {
+	if len(names) == 0 {
+		return bench.Names()
+	}
+	return names
+}
+
+// Expand flattens a scenario into its campaign batch, in deterministic
+// order: sweeps first (cluster-major, then benchmark, rank, clock), then
+// the pinned jobs. The batch is exactly the set of simulations the
+// scenario's renderer will ask the engine for.
+func (p *Planner) Expand(sc *Scenario) ([]spec.RunSpec, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	var jobs []spec.RunSpec
+	for si := range sc.Sweeps {
+		sw := &sc.Sweeps[si]
+		clusters, err := p.Clusters(sw.Clusters)
+		if err != nil {
+			return nil, err
+		}
+		var net netsim.Spec
+		if sw.Net != nil {
+			net = *sw.Net
+		}
+		for _, cs := range clusters {
+			points, err := RankPoints(cs, sw.Points, p.Quick)
+			if err != nil {
+				return nil, err
+			}
+			clocks := ClockPoints(cs, sw.Clocks, p.Quick)
+			for _, name := range benchNames(sw.Benchmarks) {
+				for _, r := range points {
+					rs := spec.RunSpec{
+						Benchmark: name,
+						Class:     sw.Class,
+						Cluster:   cs,
+						Ranks:     r,
+						Options: bench.Options{
+							SimSteps: p.SimSteps(sw.SimSteps),
+							ScaleDiv: sw.ScaleDiv,
+						},
+						Net: net,
+					}
+					if len(clocks) == 0 {
+						jobs = append(jobs, rs)
+						continue
+					}
+					for _, hz := range clocks {
+						rs.ClockHz = hz
+						jobs = append(jobs, rs)
+					}
+				}
+			}
+		}
+	}
+	for i := range sc.Jobs {
+		j := &sc.Jobs[i]
+		cs, err := machine.Get(j.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, spec.RunSpec{
+			Benchmark: j.Benchmark,
+			Class:     j.Class,
+			Cluster:   cs,
+			Ranks:     j.Ranks,
+			ClockHz:   j.ClockGHz * 1e9,
+			Options: bench.Options{
+				SimSteps: p.SimSteps(j.SimSteps),
+				ScaleDiv: j.ScaleDiv,
+			},
+		})
+	}
+	return jobs, nil
+}
+
+// Warm expands a scenario and executes its whole batch on the engine in
+// one parallel campaign, so every later engine request — from a bespoke
+// figure renderer or the generic one — is a memo hit. Per-job failures
+// are memoized, not returned: the renderer surfaces them with full
+// context.
+func (p *Planner) Warm(sc *Scenario) error {
+	jobs, err := p.Expand(sc)
+	if err != nil {
+		return err
+	}
+	p.engine().Run(jobs)
+	return nil
+}
+
+// Execute runs a scenario end to end with the generic renderer: warm the
+// engine with the full batch, then draw each sweep's metric series as
+// ASCII plots (plus CSV artifacts under outDir, unless empty) and each
+// pinned job as a summary table. Tables and plots go to w.
+func (p *Planner) Execute(sc *Scenario, w io.Writer, outDir string) error {
+	if err := p.Warm(sc); err != nil {
+		return err
+	}
+	for si := range sc.Sweeps {
+		if err := p.renderSweep(sc, si, w, outDir); err != nil {
+			return err
+		}
+	}
+	if len(sc.Jobs) > 0 {
+		if err := p.renderJobs(sc, w, outDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepMetrics resolves a sweep's metric selection.
+func sweepMetrics(sw *Sweep) ([]Metric, error) {
+	names := sw.Metrics
+	if len(names) == 0 {
+		names = DefaultMetrics
+	}
+	out := make([]Metric, 0, len(names))
+	for _, n := range names {
+		m, ok := MetricByName(n)
+		if !ok {
+			return nil, fmt.Errorf("scenario: unknown metric %q (known: %v)", n, MetricNames())
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// renderSweep draws one sweep: per cluster and metric, one plot with a
+// series per benchmark over the rank axis (or the clock axis for
+// frequency sweeps), each saved as CSV.
+func (p *Planner) renderSweep(sc *Scenario, si int, w io.Writer, outDir string) error {
+	sw := &sc.Sweeps[si]
+	metrics, err := sweepMetrics(sw)
+	if err != nil {
+		return err
+	}
+	clusters, err := p.Clusters(sw.Clusters)
+	if err != nil {
+		return err
+	}
+	for _, cs := range clusters {
+		points, err := RankPoints(cs, sw.Points, p.Quick)
+		if err != nil {
+			return err
+		}
+		clocks := ClockPoints(cs, sw.Clocks, p.Quick)
+		names := benchNames(sw.Benchmarks)
+
+		// Collect the result matrix through the (warm) engine.
+		results := make(map[string][]spec.RunResult, len(names))
+		for _, name := range names {
+			base := spec.RunSpec{
+				Benchmark: name,
+				Class:     sw.Class,
+				Cluster:   cs,
+				Options: bench.Options{
+					SimSteps: p.SimSteps(sw.SimSteps),
+					ScaleDiv: sw.ScaleDiv,
+				},
+			}
+			if sw.Net != nil {
+				base.Net = *sw.Net
+			}
+			var res []spec.RunResult
+			if len(clocks) > 0 {
+				base.Ranks = points[0]
+				res, err = p.engine().FrequencySweep(base, clocks)
+			} else {
+				res, err = p.engine().Sweep(base, points)
+			}
+			if err != nil {
+				return fmt.Errorf("scenario %s: sweep %d: %s on %s: %w",
+					sc.Name, si+1, name, cs.Name, err)
+			}
+			results[name] = res
+		}
+
+		xName, xLabel := "ranks", "processes"
+		if len(clocks) > 0 {
+			xName, xLabel = "clock_ghz", "core clock [GHz]"
+		}
+		for _, m := range metrics {
+			plot := report.NewPlot(
+				fmt.Sprintf("%s: %s %s (%s)", sc.Name, cs.Name, m.Label, sw.Class),
+				xLabel, m.Label)
+			var series []report.Series
+			for _, name := range names {
+				res := results[name]
+				xs := make([]float64, len(res))
+				for i, r := range res {
+					if len(clocks) > 0 {
+						xs[i] = r.Spec.ClockHz / 1e9 // ladder-snapped
+					} else {
+						xs[i] = float64(r.Usage.Ranks)
+					}
+				}
+				ys := metricValues(m, res)
+				plot.Add(name, xs, ys)
+				series = append(series, report.Series{Name: name, X: xs, Y: ys})
+			}
+			if err := plot.Write(w); err != nil {
+				return err
+			}
+			csv := fmt.Sprintf("%s_s%d_%s_%s.csv", sc.Name, si+1, m.Name, cs.Name)
+			if err := saveSeriesCSV(outDir, csv, xName, series); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderJobs draws the pinned single jobs as one summary table.
+func (p *Planner) renderJobs(sc *Scenario, w io.Writer, outDir string) error {
+	t := report.NewTable(
+		fmt.Sprintf("%s: pinned jobs", sc.Name),
+		"benchmark", "class", "cluster", "ranks", "wall", "perf", "mem BW",
+		"chip power", "energy", "MPI %")
+	for i := range sc.Jobs {
+		j := &sc.Jobs[i]
+		cs, err := machine.Get(j.Cluster)
+		if err != nil {
+			return err
+		}
+		outs := p.engine().Run([]spec.RunSpec{{
+			Benchmark: j.Benchmark,
+			Class:     j.Class,
+			Cluster:   cs,
+			Ranks:     j.Ranks,
+			ClockHz:   j.ClockGHz * 1e9,
+			Options: bench.Options{
+				SimSteps: p.SimSteps(j.SimSteps),
+				ScaleDiv: j.ScaleDiv,
+			},
+		}})
+		if outs[0].Err != nil {
+			return fmt.Errorf("scenario %s: job %d: %w", sc.Name, i+1, outs[0].Err)
+		}
+		u := outs[0].Result.Usage
+		t.AddRow(j.Benchmark, j.Class.String(), cs.Name,
+			fmt.Sprintf("%d", u.Ranks),
+			units.Seconds(u.Wall),
+			units.FlopRate(u.PerfFlops()),
+			units.Bandwidth(u.MemBandwidth()),
+			units.Power(u.ChipPower()),
+			units.Energy(u.TotalEnergy()),
+			fmt.Sprintf("%.1f", 100*u.MPIFraction()))
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	return saveCSV(outDir, sc.Name+"_jobs.csv", t)
+}
+
+// saveCSV writes a table as CSV into dir ("" = no artifacts).
+func saveCSV(dir, name string, t *report.Table) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}
+
+// saveSeriesCSV writes plot series as CSV into dir ("" = no artifacts).
+func saveSeriesCSV(dir, name, xName string, series []report.Series) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return report.SeriesCSV(f, xName, series)
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+)
+
+// The quick-mode point reductions below are the single source of truth
+// for both file scenarios and the built-in figures (internal/figures
+// delegates here), so the two paths cannot drift apart: a job plan
+// expanded from a scenario is exactly the set of jobs the corresponding
+// renderer asks the engine for.
+
+// NodePoints returns the node-level rank ladder of a cluster. Quick mode
+// trades resolution for speed: seeds plus half/full domain, two domains,
+// one socket, and the full node.
+func NodePoints(cs *machine.ClusterSpec, quick bool) []int {
+	if !quick {
+		return spec.NodePoints(cs)
+	}
+	cpd := cs.CPU.CoresPerDomain()
+	cps := cs.CPU.CoresPerSocket
+	cpn := cs.CPU.CoresPerNode()
+	return dedupSorted([]int{1, 2, 4, cpd / 2, cpd, 2 * cpd, cps, cpn})
+}
+
+// DomainPoints returns the within-domain rank ladder (1..cores per
+// domain); quick mode keeps seeds, half, and the full domain.
+func DomainPoints(cs *machine.ClusterSpec, quick bool) []int {
+	if !quick {
+		return spec.DomainPoints(cs)
+	}
+	cpd := cs.CPU.CoresPerDomain()
+	return dedupSorted([]int{1, 2, 4, cpd / 2, cpd})
+}
+
+// MultiNodePoints returns the multi-node rank ladder (full nodes); quick
+// mode keeps 1, 2, and 4 nodes.
+func MultiNodePoints(cs *machine.ClusterSpec, quick bool) []int {
+	if !quick {
+		return spec.MultiNodePoints(cs)
+	}
+	cpn := cs.CPU.CoresPerNode()
+	return []int{cpn, 2 * cpn, 4 * cpn}
+}
+
+// ClockLadder returns a cluster's DVFS frequency axis; quick mode keeps
+// the endpoints and the midpoint. An empty result means the cluster has
+// no DVFS model.
+func ClockLadder(cs *machine.ClusterSpec, quick bool) []float64 {
+	ladder := cs.CPU.DVFS.Ladder()
+	if quick && len(ladder) > 3 {
+		return []float64{ladder[0], ladder[len(ladder)/2], ladder[len(ladder)-1]}
+	}
+	return ladder
+}
+
+// RankPoints resolves a rank axis against a cluster.
+func RankPoints(cs *machine.ClusterSpec, p Points, quick bool) ([]int, error) {
+	switch p.Kind {
+	case PointsNode:
+		return NodePoints(cs, quick), nil
+	case PointsDomain:
+		return DomainPoints(cs, quick), nil
+	case PointsMultiNode:
+		return MultiNodePoints(cs, quick), nil
+	case PointsOneDomain:
+		return []int{cs.CPU.CoresPerDomain()}, nil
+	case PointsList:
+		return dedupSorted(p.List), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown points kind %q", p.Kind)
+	}
+}
+
+// ClockPoints resolves a frequency axis against a cluster, in Hz and
+// ladder order; nil means the sweep has no frequency axis. A ladder
+// request on a cluster without a DVFS model resolves to the pinned base
+// clock as its only point.
+func ClockPoints(cs *machine.ClusterSpec, c Clocks, quick bool) []float64 {
+	switch {
+	case c.Ladder:
+		if ladder := ClockLadder(cs, quick); len(ladder) > 0 {
+			return ladder
+		}
+		return []float64{cs.CPU.BaseClockHz}
+	case len(c.GHz) > 0:
+		out := make([]float64, len(c.GHz))
+		for i, g := range c.GHz {
+			out[i] = g * 1e9
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -124,9 +124,13 @@ func Run(rs RunSpec) (RunResult, error) {
 
 // NodePoints returns the rank counts used for node-level sweeps on a
 // cluster: every core count from 1 up to a full node would be expensive,
-// so the sweep uses 1, 2, 4, then steps of 1/6 domain, hitting every
-// domain and socket boundary exactly — enough resolution for the
-// saturation curves of Fig. 1-4.
+// so the sweep uses 1, 2, 4, then steps of one third of a ccNUMA domain
+// (18-core domains advance by 6, 13-core domains by 4), plus every
+// domain multiple, hitting every domain and socket boundary exactly —
+// enough resolution for the saturation curves of Fig. 1-4. The exact
+// point sets for the paper's two clusters are pinned by
+// TestNodePointsPaperClusters; on-disk campaign caches key on rank
+// counts, so changing this ladder invalidates warm sweeps.
 func NodePoints(cs *machine.ClusterSpec) []int {
 	cpd := cs.CPU.CoresPerDomain()
 	cpn := cs.CPU.CoresPerNode()

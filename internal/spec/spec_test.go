@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -79,6 +80,33 @@ func TestNodePointsCoverDomainsAndNode(t *testing.T) {
 		}
 		if pts[len(pts)-1] != cs.CPU.CoresPerNode() {
 			t.Errorf("%s: last point %d, want full node", cs.Name, pts[len(pts)-1])
+		}
+	}
+}
+
+// TestNodePointsPaperClusters pins the exact node-sweep ladders of the
+// two paper systems: 1, 2, 4, then one-third-domain steps (6 on Ice
+// Lake's 18-core domains, 4 on Sapphire Rapids' 13-core domains) plus
+// every domain multiple. These rank counts are part of every figure's
+// job plan — and therefore of the persistent campaign cache keys — so a
+// change here silently invalidates warm stores and must be deliberate.
+func TestNodePointsPaperClusters(t *testing.T) {
+	cases := []struct {
+		cluster string
+		want    []int
+	}{
+		{"ClusterA", []int{
+			1, 2, 4, 6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72,
+		}},
+		{"ClusterB", []int{
+			1, 2, 4, 8, 12, 13, 16, 20, 24, 26, 28, 32, 36, 39, 40, 44, 48,
+			52, 56, 60, 64, 65, 68, 72, 76, 78, 80, 84, 88, 91, 92, 96, 100, 104,
+		}},
+	}
+	for _, c := range cases {
+		got := NodePoints(machine.MustGet(c.cluster))
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s node points:\n got %v\nwant %v", c.cluster, got, c.want)
 		}
 	}
 }

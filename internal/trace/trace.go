@@ -180,6 +180,30 @@ func (r *Recorder) RankEvents(rank int) []Event {
 	return out
 }
 
+// Sums returns a deep copy of the per-rank, per-kind time sums — the
+// serializable core of a recorder. Persisted campaign results round-trip
+// through Sums/FromSums; full event lists (kept only under keepEvents)
+// are deliberately not part of the exchange format.
+func (r *Recorder) Sums() [][]float64 {
+	out := make([][]float64, r.ranks)
+	for i := range out {
+		out[i] = append([]float64(nil), r.sums[i]...)
+	}
+	return out
+}
+
+// FromSums reconstructs a recorder from a Sums snapshot. Rows shorter
+// than the current kind set (a snapshot from an older build) are padded
+// with zeros; longer rows are truncated — unknown kinds cannot be
+// attributed anyway. The recorder keeps no event list.
+func FromSums(sums [][]float64) *Recorder {
+	r := NewRecorder(len(sums), false)
+	for i, row := range sums {
+		copy(r.sums[i], row)
+	}
+	return r
+}
+
 // SlowestRank returns the rank with the largest compute time — used to
 // identify stragglers like lbm's slow process 70 in Fig. 2(h).
 func (r *Recorder) SlowestRank() int {

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Inspect a campaign result store directory (docs/SCENARIOS.md): record
+# count, disk usage, and per-benchmark / per-cluster / per-class
+# breakdowns. Records are one-line JSON carrying flat summary fields
+# ("bench", "cluster", "class") precisely so plain POSIX tools can read
+# them — no jq required.
+#
+# Usage: scripts/cache_stats.sh <store-dir>
+set -eu
+
+dir=${1:?usage: cache_stats.sh <store-dir>}
+if [ ! -d "$dir" ]; then
+    echo "cache_stats: $dir is not a directory" >&2
+    exit 1
+fi
+
+files=$(find "$dir" -type f -name '*.json')
+if [ -z "$files" ]; then
+    count=0
+else
+    count=$(printf '%s\n' "$files" | wc -l | tr -d ' ')
+fi
+echo "store:   $dir"
+echo "records: $count"
+du -sh "$dir" 2>/dev/null | awk '{print "disk:    " $1}'
+[ "$count" -gt 0 ] || exit 0
+
+summary() {
+    # Pull one flat string field out of every record and histogram it.
+    printf '%s\n' "$files" |
+        xargs sed -n "s/.*\"$1\":\"\([^\"]*\)\".*/\1/p" |
+        sort | uniq -c | sort -rn | awk '{printf "  %6d  %s\n", $1, $2}'
+}
+
+echo "by benchmark:"
+summary bench
+echo "by cluster:"
+summary cluster
+echo "by class:"
+summary class

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Cross-process cache correctness gate (run by CI): execute a quick
+# scenario twice against one -cache-dir and fail unless the second pass
+# is served entirely from the persistent store — zero fresh simulations,
+# at least one store hit, no store faults. This is the end-to-end proof
+# that canonical job keys are stable across processes and that persisted
+# records reconstruct results the planner accepts.
+#
+# Usage: scripts/warm_cache_check.sh [scenario-file]
+set -eu
+
+scenario=${1:-examples/custom_scenario/scenario.json}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "warm_cache_check: building cmd/figures"
+go build -o "$workdir/figures" ./cmd/figures
+
+field() { # field <name> <stats-line>
+    printf '%s\n' "$2" | sed -n "s/.*$1=\([0-9][0-9]*\).*/\1/p"
+}
+
+run_pass() { # run_pass <label>
+    "$workdir/figures" -scenario "$scenario" -quick -out "" \
+        -cache-dir "$workdir/store" 2>"$workdir/$1.err" >/dev/null
+    stats=$(grep '^campaign:' "$workdir/$1.err" | tail -1)
+    if [ -z "$stats" ]; then
+        echo "warm_cache_check: $1: no campaign stats line on stderr" >&2
+        cat "$workdir/$1.err" >&2
+        exit 1
+    fi
+    echo "warm_cache_check: $1: $stats"
+}
+
+run_pass cold
+cold_fresh=$(field fresh-sims "$stats")
+if [ "$cold_fresh" -eq 0 ]; then
+    echo "warm_cache_check: cold pass simulated nothing — scenario too small?" >&2
+    exit 1
+fi
+
+run_pass warm
+warm_fresh=$(field fresh-sims "$stats")
+warm_hits=$(field store-hits "$stats")
+warm_faults=$(field store-faults "$stats")
+if [ "$warm_fresh" -ne 0 ] || [ "$warm_hits" -eq 0 ] || [ "$warm_faults" -ne 0 ]; then
+    echo "warm_cache_check: FAIL: warm pass must be 100% store hits (fresh-sims=0, store-hits>0, store-faults=0)" >&2
+    exit 1
+fi
+
+sh scripts/cache_stats.sh "$workdir/store"
+echo "warm_cache_check: OK ($warm_hits jobs served from the store, 0 re-simulated)"
