@@ -1,0 +1,112 @@
+// Command spechpcd serves the simulated SPEChpc 2021 evaluation over
+// HTTP: a long-lived daemon wrapping one asynchronous campaign
+// scheduler, so any number of clients can submit benchmark jobs and
+// declarative scenarios, poll their progress, and fetch results as JSON
+// or CSV. Identical requests coalesce onto one simulation; with
+// -cache-dir, results persist across restarts and repeated queries are
+// served from disk without simulating (see docs/SERVICE.md for the API
+// reference).
+//
+// Usage:
+//
+//	spechpcd -addr 127.0.0.1:8080 -cache-dir ~/.cache/spechpc-sim
+//	spechpcd -addr 127.0.0.1:0 -quick          # ephemeral port, fast sweeps
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/api/v1/jobs -d '{"benchmark":"lbm","cluster":"A","ranks":72}'
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: in-flight HTTP
+// requests get a drain window, queued-but-unstarted jobs are dropped,
+// and simulations already running complete and persist before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/spechpc/spechpc-sim/internal/campaign"
+	"github.com/spechpc/spechpc-sim/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "scheduler worker pool size")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory (results survive restarts)")
+	quick := flag.Bool("quick", false, "reduced scenario sweep resolution")
+	clusters := flag.String("clusters", "", "comma-separated default clusters for scenario sweeps (default: the paper's two)")
+	artifactDir := flag.String("artifacts", "", "scenario CSV artifact root (empty = per-run temp directories)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight HTTP requests")
+	flag.Parse()
+
+	var store campaign.Store
+	if *cacheDir != "" {
+		ds, err := campaign.NewDirStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	}
+	sched := campaign.NewScheduler(*parallel, store)
+
+	var clusterList []string
+	if *clusters != "" {
+		for _, n := range strings.Split(*clusters, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				clusterList = append(clusterList, n)
+			}
+		}
+	}
+	svc := service.New(sched, service.Options{
+		Quick:           *quick,
+		DefaultClusters: clusterList,
+		ArtifactDir:     *artifactDir,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The resolved address line is load-bearing: scripts/service_smoke.sh
+	// starts the daemon on an ephemeral port and parses the port from it.
+	fmt.Printf("spechpcd: listening on http://%s (workers=%d cache-dir=%q)\n",
+		ln.Addr(), sched.Workers(), *cacheDir)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "spechpcd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "spechpcd: drain window expired:", err)
+	}
+	svc.Close()
+	sched.Close() // drops queued jobs, waits for running simulations
+	fmt.Fprintln(os.Stderr, sched.Stats())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spechpcd:", err)
+	os.Exit(1)
+}

@@ -5,12 +5,19 @@
 // discrete-event run, so campaigns are embarrassingly parallel across
 // host cores.
 //
-// The engine takes a batch of spec.RunSpec jobs, deduplicates them under
-// a canonical content-addressed job key, executes the unique jobs on a
-// bounded worker pool, memoizes every outcome for the lifetime of the
-// engine (identical jobs are simulated exactly once per process, however
-// many figures ask for them), and returns outcomes in deterministic input
-// order with per-job errors — one failing job never aborts its siblings.
+// The core is a long-lived asynchronous Scheduler: jobs are submitted
+// with a context and a priority, deduplicated under a canonical
+// content-addressed job Key, coalesced across requests (identical jobs
+// in flight from different callers share one simulation), executed on a
+// bounded on-demand worker pool fed by a priority queue, and memoized
+// for the scheduler's lifetime. Queued jobs whose submitters all cancel
+// are dropped without running; running simulations always complete.
+//
+// The synchronous Engine (Run, Sweep, SweepAll, FrequencySweep) is a
+// thin batch adapter over the scheduler, preserved for CLIs, figures,
+// and tests: it submits a batch, waits for every ticket, and returns
+// outcomes in deterministic input order with per-job errors — one
+// failing job never aborts its siblings.
 //
 // Backed by a persistent Store (see NewWithStore), the memo additionally
 // survives the process: results are looked up in — and written through to
@@ -19,9 +26,8 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"github.com/spechpc/spechpc-sim/internal/spec"
 )
@@ -36,60 +42,42 @@ type Outcome struct {
 	Err error
 }
 
-// Stats counts the engine's cache behaviour. A "miss" is a fresh
+// Stats counts the scheduler's cache behaviour. A "miss" is a fresh
 // simulation; a "hit" is a job served from the in-process memo, whether
-// it was cached by an earlier batch or is a duplicate within the current
-// one. StoreHits count jobs served from the persistent store instead of
-// simulating; StoreFaults count store read/write errors (each such job
-// falls back to a fresh simulation, so faults never lose results).
+// it completed earlier or is still in flight. Coalesced counts the hits
+// that attached to a job not yet finished — concurrent submissions of
+// one identity sharing a single simulation. StoreHits count jobs served
+// from the persistent store instead of simulating; StoreFaults count
+// store read/write errors (each such job falls back to a fresh
+// simulation, so faults never lose results). Cancelled counts queued
+// jobs dropped before starting (submitters all cancelled, or scheduler
+// shutdown).
 type Stats struct {
 	Jobs        int
 	Hits        int
+	Coalesced   int
 	Misses      int
 	StoreHits   int
 	StoreFaults int
+	Cancelled   int
 }
 
 // String renders the counters in the stable one-line form the CLIs print
 // to stderr when a persistent store is attached. The field names are
-// load-bearing: scripts/warm_cache_check.sh parses them to assert a warm
-// store serves a repeated run with fresh-sims=0.
+// load-bearing: scripts/warm_cache_check.sh and scripts/service_smoke.sh
+// parse them to assert a warm store serves a repeated run with
+// fresh-sims=0.
 func (s Stats) String() string {
-	return fmt.Sprintf("campaign: jobs=%d memo-hits=%d store-hits=%d fresh-sims=%d store-faults=%d",
-		s.Jobs, s.Hits, s.StoreHits, s.Misses, s.StoreFaults)
+	return fmt.Sprintf("campaign: jobs=%d memo-hits=%d coalesced=%d store-hits=%d fresh-sims=%d store-faults=%d cancelled=%d",
+		s.Jobs, s.Hits, s.Coalesced, s.StoreHits, s.Misses, s.StoreFaults, s.Cancelled)
 }
 
-// entry is one memoized job. done is closed after res/err are written,
-// so waiters synchronize on the channel close (singleflight-style: a
-// batch that re-submits a job still in flight waits instead of re-running
-// it).
-type entry struct {
-	done chan struct{}
-	res  spec.RunResult
-	err  error
-}
-
-// task pairs a memo entry with the job that fills it and its canonical
-// key (computed once at submission, reused for the store round trip).
-type task struct {
-	ent *entry
-	rs  spec.RunSpec
-	key string
-}
-
-// Engine executes campaigns. The zero value is not usable; construct
-// with New or NewWithStore. An Engine is safe for concurrent use.
+// Engine is the synchronous batch view of a Scheduler. The zero value is
+// not usable; construct with New, NewWithStore, or NewWithScheduler. An
+// Engine is safe for concurrent use; concurrent Run calls share the
+// scheduler's worker pool, memo, and coalescing.
 type Engine struct {
-	workers int
-	// sem bounds in-flight simulations engine-wide, so the worker cap
-	// holds even across concurrent Run calls.
-	sem chan struct{}
-	// store is the persistent second-level cache (nil = in-process only).
-	store Store
-
-	mu    sync.Mutex
-	cache map[string]*entry
-	stats Stats
+	sched *Scheduler
 }
 
 // New returns an engine running at most workers simulations at once.
@@ -106,15 +94,14 @@ func New(workers int) *Engine {
 // so transient faults cannot poison a shared cache. A nil store behaves
 // exactly like New.
 func NewWithStore(workers int, store Store) *Engine {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	return &Engine{
-		workers: workers,
-		sem:     make(chan struct{}, workers),
-		store:   store,
-		cache:   map[string]*entry{},
-	}
+	return NewWithScheduler(NewScheduler(workers, store))
+}
+
+// NewWithScheduler wraps an existing scheduler in the synchronous batch
+// API, so long-lived services can share one scheduler between HTTP
+// submissions and planner-driven batches.
+func NewWithScheduler(s *Scheduler) *Engine {
+	return &Engine{sched: s}
 }
 
 // NewWithCacheDir returns an engine backed by an on-disk store rooted at
@@ -132,111 +119,49 @@ func NewWithCacheDir(workers int, cacheDir string) (*Engine, error) {
 }
 
 // Workers returns the pool size.
-func (e *Engine) Workers() int { return e.workers }
+func (e *Engine) Workers() int { return e.sched.Workers() }
 
 // Store returns the persistent store backing the engine (nil if none).
-func (e *Engine) Store() Store { return e.store }
+func (e *Engine) Store() Store { return e.sched.Store() }
+
+// Scheduler returns the asynchronous scheduler behind the engine.
+func (e *Engine) Scheduler() *Scheduler { return e.sched }
 
 // Stats returns a snapshot of the cache counters.
-func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+func (e *Engine) Stats() Stats { return e.sched.Stats() }
+
+// Submit enqueues one job on the underlying scheduler without blocking —
+// the asynchronous escape hatch for callers (the scenario planner, the
+// HTTP service) that want results to stream in as they land.
+func (e *Engine) Submit(ctx context.Context, rs spec.RunSpec) *Ticket {
+	return e.sched.Submit(ctx, rs)
 }
 
 // Run executes a campaign and returns one Outcome per job, in input
 // order. Jobs already memoized (or duplicated within the batch) are
 // served from the in-process memo, then from the persistent store if one
-// is attached; the rest run on the worker pool. At most Workers()
-// goroutines are spawned per call no matter the batch size, so
-// 10k-job scenario batches do not create 10k parked goroutines.
+// is attached; the rest run on the scheduler's worker pool. At most
+// Workers() worker goroutines exist no matter the batch size, so 10k-job
+// scenario batches do not create 10k parked goroutines.
 func (e *Engine) Run(jobs []spec.RunSpec) []Outcome {
-	ents := make([]*entry, len(jobs))
-	var fresh []task
-	e.mu.Lock()
-	e.stats.Jobs += len(jobs)
+	return e.RunCtx(context.Background(), jobs)
+}
+
+// RunCtx is Run under a cancellable context: the batch is submitted and
+// awaited with ctx, so cancelling it releases the batch's claim on
+// queued jobs and unblocks the waits (outcomes carry the context
+// error). A cancelled ctx can never pin work alive — the path renderers
+// use so an abandoned study stops resubmitting its own jobs.
+func (e *Engine) RunCtx(ctx context.Context, jobs []spec.RunSpec) []Outcome {
+	tickets := make([]*Ticket, len(jobs))
 	for i, rs := range jobs {
-		k := Key(rs)
-		ent, ok := e.cache[k]
-		if ok {
-			e.stats.Hits++
-		} else {
-			ent = &entry{done: make(chan struct{})}
-			e.cache[k] = ent
-			fresh = append(fresh, task{ent, rs, k})
-		}
-		ents[i] = ent
+		tickets[i] = e.sched.Submit(ctx, rs)
 	}
-	e.mu.Unlock()
-
-	if len(fresh) > 0 {
-		workers := e.workers
-		if workers > len(fresh) {
-			workers = len(fresh)
-		}
-		next := make(chan task)
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for t := range next {
-					e.exec(t)
-				}
-			}()
-		}
-		for _, t := range fresh {
-			next <- t
-		}
-		close(next)
-		wg.Wait()
-	}
-
 	out := make([]Outcome, len(jobs))
-	for i, rs := range jobs {
-		<-ents[i].done // entry may be in flight in a concurrent Run
-		out[i] = Outcome{Job: rs, Result: ents[i].res, Err: ents[i].err}
+	for i, t := range tickets {
+		out[i] = t.Wait(ctx)
 	}
 	return out
-}
-
-// exec fills one memo entry: persistent-store lookup first (when
-// attached and the job is storable), then a fresh simulation with
-// write-through. The engine-wide semaphore bounds concurrent work across
-// overlapping Run calls.
-func (e *Engine) exec(t task) {
-	e.sem <- struct{}{}
-	defer func() { <-e.sem }()
-	defer close(t.ent.done)
-
-	storable := e.store != nil && !t.rs.KeepTrace
-	if storable {
-		rec, ok, err := e.store.Get(t.key)
-		if err != nil {
-			e.count(func(s *Stats) { s.StoreFaults++ })
-		} else if ok {
-			if res, valid := rec.result(); valid {
-				t.ent.res = res
-				e.count(func(s *Stats) { s.StoreHits++ })
-				return
-			}
-		}
-	}
-
-	e.count(func(s *Stats) { s.Misses++ })
-	t.ent.res, t.ent.err = spec.Run(t.rs)
-	if storable && t.ent.err == nil {
-		if err := e.store.Put(t.key, newRecord(t.key, t.ent.res)); err != nil {
-			e.count(func(s *Stats) { s.StoreFaults++ })
-		}
-	}
-}
-
-// count applies a stats mutation under the engine lock.
-func (e *Engine) count(f func(*Stats)) {
-	e.mu.Lock()
-	f(&e.stats)
-	e.mu.Unlock()
 }
 
 // Sweep runs one benchmark over a list of rank counts through the engine
@@ -244,13 +169,18 @@ func (e *Engine) count(f func(*Stats)) {
 // of spec.Sweep. The first job error aborts the sweep's result (the
 // remaining points still complete and stay memoized).
 func (e *Engine) Sweep(base spec.RunSpec, points []int) ([]spec.RunResult, error) {
+	return e.SweepCtx(context.Background(), base, points)
+}
+
+// SweepCtx is Sweep under a cancellable context (see RunCtx).
+func (e *Engine) SweepCtx(ctx context.Context, base spec.RunSpec, points []int) ([]spec.RunResult, error) {
 	jobs := make([]spec.RunSpec, len(points))
 	for i, p := range points {
 		rs := base
 		rs.Ranks = p
 		jobs[i] = rs
 	}
-	outs := e.Run(jobs)
+	outs := e.RunCtx(ctx, jobs)
 	results := make([]spec.RunResult, len(outs))
 	for i, o := range outs {
 		if o.Err != nil {
@@ -298,6 +228,12 @@ func (e *Engine) SweepAll(names []string, base spec.RunSpec, points []int) (map[
 // Results come back in ladder order; the first job error aborts the
 // returned slice (remaining points still complete and stay memoized).
 func (e *Engine) FrequencySweep(base spec.RunSpec, clocks []float64) ([]spec.RunResult, error) {
+	return e.FrequencySweepCtx(context.Background(), base, clocks)
+}
+
+// FrequencySweepCtx is FrequencySweep under a cancellable context (see
+// RunCtx).
+func (e *Engine) FrequencySweepCtx(ctx context.Context, base spec.RunSpec, clocks []float64) ([]spec.RunResult, error) {
 	if len(clocks) == 0 {
 		if base.Cluster == nil {
 			return nil, fmt.Errorf("campaign: frequency sweep without cluster")
@@ -313,7 +249,7 @@ func (e *Engine) FrequencySweep(base spec.RunSpec, clocks []float64) ([]spec.Run
 		rs.ClockHz = hz
 		jobs[i] = rs
 	}
-	outs := e.Run(jobs)
+	outs := e.RunCtx(ctx, jobs)
 	results := make([]spec.RunResult, len(outs))
 	for i, o := range outs {
 		if o.Err != nil {

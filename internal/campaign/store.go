@@ -186,15 +186,28 @@ func (s *DirStore) Put(key string, rec Record) error {
 // Len walks the store and returns the number of persisted records —
 // inspection/testing helper, not on any hot path.
 func (s *DirStore) Len() (int, error) {
-	n := 0
-	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
+	n, _, err := s.Usage()
+	return n, err
+}
+
+// Usage walks the store and returns the persisted record count and
+// their total size in bytes — the numbers behind the service /statsz
+// endpoint and scripts/cache_stats.sh. Not on any hot path.
+func (s *DirStore) Usage() (records int, bytes int64, err error) {
+	err = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
 		}
-		if !d.IsDir() && strings.HasSuffix(path, ".json") {
-			n++
+		if d.IsDir() || !strings.HasSuffix(path, ".json") {
+			return nil
 		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return ierr
+		}
+		records++
+		bytes += info.Size()
 		return nil
 	})
-	return n, err
+	return records, bytes, err
 }

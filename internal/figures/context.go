@@ -21,6 +21,7 @@
 package figures
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -149,15 +150,17 @@ func (ctx *Context) planner() *scenario.Planner {
 	}
 }
 
-// runPlan executes one built-in experiment: warm the engine with the
-// declarative scenario plan (one parallel campaign batch), then render
-// the paper artifact from the memoized results. Per-job failures are
-// surfaced by the renderer, which has the experiment context for error
-// messages.
+// runPlan executes one built-in experiment: submit the declarative
+// scenario plan to the scheduler as one asynchronous batch, then render
+// the paper artifact — the renderer's engine requests coalesce onto the
+// in-flight jobs and block only on the results each table or plot
+// actually needs, so rendering starts while the tail of the plan is
+// still simulating. Per-job failures are surfaced by the renderer,
+// which has the experiment context for error messages.
 func (ctx *Context) runPlan(plan func(*Context) *scenario.Scenario, render func(*Context) error) error {
 	if plan != nil {
 		if sc := plan(ctx); sc != nil {
-			if err := ctx.planner().Warm(sc); err != nil {
+			if _, err := ctx.planner().Enqueue(context.Background(), sc); err != nil {
 				return err
 			}
 		}

@@ -295,6 +295,32 @@ func TestUsageScale(t *testing.T) {
 	}
 }
 
+// TestUsageScaleSharesNoBackingArrays pins that Scale deep-copies every
+// slice field: the scaled copy and the receiver must stay independent
+// when either is mutated (spec.Run keeps both the raw and the scaled
+// record of one job, so aliasing would corrupt one through the other).
+func TestUsageScaleSharesNoBackingArrays(t *testing.T) {
+	a := ClusterA()
+	u := runPhases(t, a, 4, 2, Phase{FlopsSIMD: 1e9, BytesMem: 1e9})
+	s := u.Scale(10)
+
+	check := func(name string, orig, scaled []float64) {
+		t.Helper()
+		if len(orig) == 0 || len(scaled) == 0 {
+			t.Fatalf("%s: empty slice, test needs a populated usage", name)
+		}
+		before := orig[0]
+		scaled[0] += 1234.5
+		if orig[0] != before {
+			t.Errorf("%s: mutating the scaled copy changed the original (shared backing array)", name)
+		}
+		scaled[0] -= 1234.5
+	}
+	check("SocketChipPower", u.SocketChipPower, s.SocketChipPower)
+	check("DomainDRAMPower", u.DomainDRAMPower, s.DomainDRAMPower)
+	check("DomainBytesMem", u.DomainBytesMem, s.DomainBytesMem)
+}
+
 func TestCacheFitMonotonic(t *testing.T) {
 	f := func(a, b uint16) bool {
 		x := float64(a%1000) / 100.0

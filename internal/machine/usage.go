@@ -150,7 +150,10 @@ func (u Usage) MPIFraction() float64 {
 // Scale multiplies all extensive quantities (time, flops, traffic, energy)
 // by f, leaving intensive ones (powers, ratios) unchanged. The SPEC
 // harness uses this to extrapolate from a simulated subset of iterations
-// to the full iteration count of the paper's workloads.
+// to the full iteration count of the paper's workloads. Every slice of
+// the returned Usage is freshly allocated — the copy shares no backing
+// arrays with the receiver, so mutating one never corrupts the other
+// (spec.Run keeps both the raw and the scaled record of one job).
 func (u Usage) Scale(f float64) Usage {
 	u.Wall *= f
 	u.FlopsScalar *= f
@@ -168,5 +171,9 @@ func (u Usage) Scale(f float64) Usage {
 		scaled[i] = v * f
 	}
 	u.DomainBytesMem = scaled
+	// Per-socket/domain powers are intensive — values carry over — but
+	// the slices still need their own backing arrays.
+	u.SocketChipPower = append([]float64(nil), u.SocketChipPower...)
+	u.DomainDRAMPower = append([]float64(nil), u.DomainDRAMPower...)
 	return u
 }

@@ -22,10 +22,17 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// AddRow appends a row; cells beyond the header count are dropped.
+// AddRow appends a row. Short rows are padded with empty cells to the
+// header count; a row with more cells than the table has headers is a
+// programming error and panics — silently dropping data would corrupt
+// the rendered artifact.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) > len(t.Headers) {
-		cells = cells[:len(t.Headers)]
+		panic(fmt.Sprintf("report: AddRow got %d cells for a %d-column table %q (overflow: %v)",
+			len(cells), len(t.Headers), t.Title, cells[len(t.Headers):]))
+	}
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
 	}
 	t.Rows = append(t.Rows, cells)
 }

@@ -42,6 +42,38 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+// TestAddRowPadsShortRows pins that short rows are padded to the header
+// count — every stored row has exactly one cell per column, so CSV
+// output carries a full record per line.
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	tb.AddRow("only")
+	if got := len(tb.Rows[0]); got != 3 {
+		t.Fatalf("short row stored with %d cells, want 3 (padded)", got)
+	}
+	if tb.Rows[0][1] != "" || tb.Rows[0][2] != "" {
+		t.Fatalf("padding cells not empty: %q", tb.Rows[0])
+	}
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := "a,b,c\nonly,,\n"; sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+// TestAddRowOverflowPanics pins that a row wider than the table surfaces
+// the bug loudly instead of silently truncating data.
+func TestAddRowOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow with more cells than headers did not panic")
+		}
+	}()
+	NewTable("t", "a", "b").AddRow("1", "2", "3")
+}
+
 func TestAddFloats(t *testing.T) {
 	tb := NewTable("t", "k", "v1", "v2")
 	tb.AddFloats("row", "%.1f", 1.25, 2.5)

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -79,29 +80,32 @@ func benchNames(names []string) []string {
 	return names
 }
 
-// Expand flattens a scenario into its campaign batch, in deterministic
-// order: sweeps first (cluster-major, then benchmark, rank, clock), then
-// the pinned jobs. The batch is exactly the set of simulations the
-// scenario's renderer will ask the engine for.
-func (p *Planner) Expand(sc *Scenario) ([]spec.RunSpec, error) {
+// ExpandParts flattens a scenario into one campaign batch per sweep
+// plus the pinned single jobs, each in deterministic order
+// (cluster-major, then benchmark, rank, clock). The concatenation of
+// the parts is exactly the set of simulations the scenario's renderer
+// will ask the engine for; keeping the parts separate lets callers — the
+// HTTP service above all — track and stream per-sweep completion.
+func (p *Planner) ExpandParts(sc *Scenario) ([][]spec.RunSpec, []spec.RunSpec, error) {
 	if err := sc.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var jobs []spec.RunSpec
+	sweeps := make([][]spec.RunSpec, len(sc.Sweeps))
 	for si := range sc.Sweeps {
 		sw := &sc.Sweeps[si]
 		clusters, err := p.Clusters(sw.Clusters)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var net netsim.Spec
 		if sw.Net != nil {
 			net = *sw.Net
 		}
+		var jobs []spec.RunSpec
 		for _, cs := range clusters {
 			points, err := RankPoints(cs, sw.Points, p.Quick)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			clocks := ClockPoints(cs, sw.Clocks, p.Quick)
 			for _, name := range benchNames(sw.Benchmarks) {
@@ -128,14 +132,16 @@ func (p *Planner) Expand(sc *Scenario) ([]spec.RunSpec, error) {
 				}
 			}
 		}
+		sweeps[si] = jobs
 	}
+	var pinned []spec.RunSpec
 	for i := range sc.Jobs {
 		j := &sc.Jobs[i]
 		cs, err := machine.Get(j.Cluster)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		jobs = append(jobs, spec.RunSpec{
+		pinned = append(pinned, spec.RunSpec{
 			Benchmark: j.Benchmark,
 			Class:     j.Class,
 			Cluster:   cs,
@@ -147,38 +153,108 @@ func (p *Planner) Expand(sc *Scenario) ([]spec.RunSpec, error) {
 			},
 		})
 	}
-	return jobs, nil
+	return sweeps, pinned, nil
+}
+
+// Expand flattens a scenario into its single campaign batch: the sweep
+// batches in order, then the pinned jobs. See ExpandParts.
+func (p *Planner) Expand(sc *Scenario) ([]spec.RunSpec, error) {
+	sweeps, pinned, err := p.ExpandParts(sc)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []spec.RunSpec
+	for _, b := range sweeps {
+		jobs = append(jobs, b...)
+	}
+	return append(jobs, pinned...), nil
+}
+
+// Enqueue expands a scenario and submits its whole batch to the
+// engine's asynchronous scheduler without waiting: one ticket per
+// expanded job, in plan order. Jobs start executing immediately on the
+// scheduler's worker pool; later engine requests for the same jobs —
+// from a bespoke figure renderer, the generic one, or a concurrent HTTP
+// request — coalesce onto the in-flight simulations instead of
+// re-running them. Per-job failures are memoized, not returned: the
+// renderer (or the ticket waiter) surfaces them with full context.
+//
+// ctx governs the submissions' interest: cancelling it drops the jobs
+// still queued (a service request abandoning a scenario releases the
+// queue for other callers), while running simulations always complete
+// and memoize.
+func (p *Planner) Enqueue(ctx context.Context, sc *Scenario) ([]*campaign.Ticket, error) {
+	jobs, err := p.Expand(sc)
+	if err != nil {
+		return nil, err
+	}
+	e := p.engine()
+	tickets := make([]*campaign.Ticket, len(jobs))
+	for i, rs := range jobs {
+		tickets[i] = e.Submit(ctx, rs)
+	}
+	return tickets, nil
 }
 
 // Warm expands a scenario and executes its whole batch on the engine in
 // one parallel campaign, so every later engine request — from a bespoke
-// figure renderer or the generic one — is a memo hit. Per-job failures
-// are memoized, not returned: the renderer surfaces them with full
-// context.
+// figure renderer or the generic one — is a memo hit. The blocking
+// counterpart of Enqueue.
 func (p *Planner) Warm(sc *Scenario) error {
-	jobs, err := p.Expand(sc)
+	tickets, err := p.Enqueue(context.Background(), sc)
 	if err != nil {
 		return err
 	}
-	p.engine().Run(jobs)
+	for _, t := range tickets {
+		t.Wait(context.Background())
+	}
 	return nil
 }
 
-// Execute runs a scenario end to end with the generic renderer: warm the
-// engine with the full batch, then draw each sweep's metric series as
-// ASCII plots (plus CSV artifacts under outDir, unless empty) and each
-// pinned job as a summary table. Tables and plots go to w.
+// Execute runs a scenario end to end with the generic renderer: submit
+// the full batch to the scheduler up front, then draw each sweep's
+// metric series as ASCII plots (plus CSV artifacts under outDir, unless
+// empty) and each pinned job as a summary table. Tables and plots go to
+// w. Rendering streams: each sweep is drawn as soon as its own results
+// land — the first sweep's plots appear while later sweeps are still
+// simulating, since the renderer's engine requests wait only on the
+// jobs they need.
 func (p *Planner) Execute(sc *Scenario, w io.Writer, outDir string) error {
-	if err := p.Warm(sc); err != nil {
+	return p.ExecuteCtx(context.Background(), sc, w, outDir)
+}
+
+// ExecuteCtx is Execute under a cancellable context: the batch is
+// enqueued with ctx (cancelling it drops the scenario's queued jobs,
+// modulo claims other callers hold), then rendered with Render.
+func (p *Planner) ExecuteCtx(ctx context.Context, sc *Scenario, w io.Writer, outDir string) error {
+	if _, err := p.Enqueue(ctx, sc); err != nil {
 		return err
 	}
+	return p.Render(ctx, sc, w, outDir)
+}
+
+// Render draws a scenario's artifacts without enqueueing its batch
+// first: each sweep's engine requests wait on — and coalesce with —
+// whatever is already submitted or memoized, simulating on demand
+// otherwise. Callers that submitted the expansion themselves (the HTTP
+// service tracks per-sweep tickets) use this to avoid double-claiming
+// every job. Rendering stops at the next sweep boundary once ctx is
+// cancelled, instead of re-submitting work the cancellation just
+// released.
+func (p *Planner) Render(ctx context.Context, sc *Scenario, w io.Writer, outDir string) error {
 	for si := range sc.Sweeps {
-		if err := p.renderSweep(sc, si, w, outDir); err != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("scenario %s: abandoned before sweep %d: %w", sc.Name, si+1, err)
+		}
+		if err := p.renderSweep(ctx, sc, si, w, outDir); err != nil {
 			return err
 		}
 	}
 	if len(sc.Jobs) > 0 {
-		if err := p.renderJobs(sc, w, outDir); err != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("scenario %s: abandoned before pinned jobs: %w", sc.Name, err)
+		}
+		if err := p.renderJobs(ctx, sc, w, outDir); err != nil {
 			return err
 		}
 	}
@@ -204,8 +280,10 @@ func sweepMetrics(sw *Sweep) ([]Metric, error) {
 
 // renderSweep draws one sweep: per cluster and metric, one plot with a
 // series per benchmark over the rank axis (or the clock axis for
-// frequency sweeps), each saved as CSV.
-func (p *Planner) renderSweep(sc *Scenario, si int, w io.Writer, outDir string) error {
+// frequency sweeps), each saved as CSV. Engine requests ride ctx, so an
+// abandoned scenario's renderer can never pin (or resurrect) jobs its
+// cancellation released.
+func (p *Planner) renderSweep(ctx context.Context, sc *Scenario, si int, w io.Writer, outDir string) error {
 	sw := &sc.Sweeps[si]
 	metrics, err := sweepMetrics(sw)
 	if err != nil {
@@ -241,9 +319,9 @@ func (p *Planner) renderSweep(sc *Scenario, si int, w io.Writer, outDir string) 
 			var res []spec.RunResult
 			if len(clocks) > 0 {
 				base.Ranks = points[0]
-				res, err = p.engine().FrequencySweep(base, clocks)
+				res, err = p.engine().FrequencySweepCtx(ctx, base, clocks)
 			} else {
-				res, err = p.engine().Sweep(base, points)
+				res, err = p.engine().SweepCtx(ctx, base, points)
 			}
 			if err != nil {
 				return fmt.Errorf("scenario %s: sweep %d: %s on %s: %w",
@@ -288,7 +366,7 @@ func (p *Planner) renderSweep(sc *Scenario, si int, w io.Writer, outDir string) 
 }
 
 // renderJobs draws the pinned single jobs as one summary table.
-func (p *Planner) renderJobs(sc *Scenario, w io.Writer, outDir string) error {
+func (p *Planner) renderJobs(ctx context.Context, sc *Scenario, w io.Writer, outDir string) error {
 	t := report.NewTable(
 		fmt.Sprintf("%s: pinned jobs", sc.Name),
 		"benchmark", "class", "cluster", "ranks", "wall", "perf", "mem BW",
@@ -299,7 +377,7 @@ func (p *Planner) renderJobs(sc *Scenario, w io.Writer, outDir string) error {
 		if err != nil {
 			return err
 		}
-		outs := p.engine().Run([]spec.RunSpec{{
+		outs := p.engine().RunCtx(ctx, []spec.RunSpec{{
 			Benchmark: j.Benchmark,
 			Class:     j.Class,
 			Cluster:   cs,

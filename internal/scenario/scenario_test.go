@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -260,11 +261,11 @@ func TestWarmCoversRender(t *testing.T) {
 	}
 	st := p.Engine.Stats()
 	for si := range sc.Sweeps {
-		if err := p.renderSweep(sc, si, &strings.Builder{}, ""); err != nil {
+		if err := p.renderSweep(context.Background(), sc, si, &strings.Builder{}, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := p.renderJobs(sc, &strings.Builder{}, ""); err != nil {
+	if err := p.renderJobs(context.Background(), sc, &strings.Builder{}, ""); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Engine.Stats(); got.Misses != st.Misses {

@@ -5,13 +5,65 @@
 # ("bench", "cluster", "class") precisely so plain POSIX tools can read
 # them — no jq required.
 #
-# Usage: scripts/cache_stats.sh <store-dir>
+# With --prune <max-bytes>, first evict records by oldest access time
+# until the store's record bytes fit the budget — the maintenance valve
+# that keeps a long-running spechpcd cache directory bounded. Eviction
+# is safe at any time: a pruned record simply degrades the next
+# identical job to one re-simulation and re-write.
+#
+# Usage: scripts/cache_stats.sh [--prune <max-bytes>] <store-dir>
 set -eu
 
-dir=${1:?usage: cache_stats.sh <store-dir>}
+prune_bytes=""
+if [ "${1:-}" = "--prune" ]; then
+    prune_bytes=${2:?usage: cache_stats.sh --prune <max-bytes> <store-dir>}
+    shift 2
+    case $prune_bytes in
+    '' | *[!0-9]*)
+        echo "cache_stats: --prune wants a byte count, got '$prune_bytes'" >&2
+        exit 1
+        ;;
+    esac
+fi
+
+dir=${1:?usage: cache_stats.sh [--prune <max-bytes>] <store-dir>}
 if [ ! -d "$dir" ]; then
     echo "cache_stats: $dir is not a directory" >&2
     exit 1
+fi
+
+# List records as "atime size path" lines: GNU stat first, BSD fallback.
+atime_size_path() {
+    find "$dir" -type f -name '*.json' -exec sh -c '
+        if stat -c "%X %s %n" "$@" 2>/dev/null; then :; else stat -f "%a %z %N" "$@"; fi
+    ' sh {} +
+}
+
+if [ -n "$prune_bytes" ]; then
+    # Oldest-accessed records first; evict while over budget. awk emits
+    # the victim paths (none when the store already fits). substr keeps
+    # the path byte-exact — rebuilding from fields would collapse any
+    # repeated whitespace inside it.
+    atime_size_path | sort -n | awk -v max="$prune_bytes" '
+        {
+            size[NR] = $2
+            path[NR] = substr($0, length($1) + length($2) + 3)
+            total += size[NR]
+        }
+        END {
+            for (i = 1; i <= NR && total > max; i++) {
+                print path[i]
+                total -= size[i]
+            }
+        }
+    ' | while IFS= read -r victim; do
+        if [ -f "$victim" ]; then
+            rm -f -- "$victim"
+            echo "pruned:  $victim"
+        else
+            echo "cache_stats: skipping unexpected prune path '$victim'" >&2
+        fi
+    done
 fi
 
 files=$(find "$dir" -type f -name '*.json')
