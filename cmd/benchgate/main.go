@@ -1,0 +1,146 @@
+// Command benchgate is the statistical benchmark gate behind
+// scripts/bench_compare.sh and the CI bench job. It compares two files
+// of standard Go benchmark output (benchfmt — exactly what
+// `go test -bench -count N` prints) and fails when a benchmark shows a
+// statistically significant regression beyond the growth allowance,
+// using the Mann-Whitney U test over the repeated samples (the
+// benchstat methodology, implemented in internal/perfstat without
+// external dependencies).
+//
+// Usage:
+//
+//	benchgate -old baseline.bench -new candidate.bench \
+//	          [-metric ns/op] [-alpha 0.05] [-max-growth 20] [-min-count 5]
+//	benchgate -summarize file.bench          # benchfmt -> flat JSON means
+//
+// Exit status: 0 when the gate passes, 1 on regression (or too few
+// samples with -min-count), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/spechpc/spechpc-sim/internal/perfstat"
+)
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline benchfmt file")
+		newPath   = flag.String("new", "", "candidate benchfmt file")
+		metric    = flag.String("metric", "ns/op", "metric unit to gate on (ns/op, allocs/op, B/op, ...)")
+		alpha     = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney U test")
+		maxGrowth = flag.Float64("max-growth", 20, "allowed metric growth in percent; significant shifts beyond this fail")
+		minCount  = flag.Int("min-count", 0, "fail when either side of a compared benchmark has fewer samples (0 disables)")
+		summarize = flag.String("summarize", "", "print a benchfmt file as flat JSON of per-benchmark metric means and exit")
+	)
+	flag.Parse()
+
+	if *summarize != "" {
+		if err := printSummary(*summarize); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new benchfmt files are required (or -summarize)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldSet, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	newSet, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	deltas := perfstat.Compare(oldSet, newSet, *metric, *alpha)
+	if len(deltas) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmarks report %q on either side\n", *metric)
+		os.Exit(2)
+	}
+	perfstat.FormatTable(os.Stdout, deltas, *metric, *alpha, *maxGrowth)
+
+	status := 0
+	for _, d := range deltas {
+		if d.Regressed(*maxGrowth) {
+			status = 1
+		}
+		if *minCount > 0 && !d.OldOnly && !d.NewOnly && (d.OldN < *minCount || d.NewN < *minCount) {
+			fmt.Fprintf(os.Stderr, "benchgate: %s has %d/%d samples, need >= %d per side for a meaningful test\n",
+				d.Name, d.OldN, d.NewN, *minCount)
+			status = 1
+		}
+	}
+	if status != 0 {
+		fmt.Println("benchgate: FAIL")
+	} else {
+		fmt.Println("benchgate: OK")
+	}
+	os.Exit(status)
+}
+
+func parseFile(path string) (*perfstat.Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := perfstat.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// printSummary renders a benchfmt file as the flat JSON shape the
+// BENCH_* trajectory files use: one object per benchmark with the mean
+// of each standard metric (keys ns_op / bytes_op / allocs_op, matching
+// the pre-benchfmt records so trajectories stay diffable across PRs).
+func printSummary(path string) error {
+	s, err := parseFile(path)
+	if err != nil {
+		return err
+	}
+	jsonKey := map[string]string{"ns/op": "ns_op", "B/op": "bytes_op", "allocs/op": "allocs_op"}
+	fmt.Println("{")
+	for i, name := range s.Names {
+		keys := []string{}
+		for _, m := range []string{"ns/op", "B/op", "allocs/op"} {
+			if len(s.Values(name, m)) > 0 {
+				keys = append(keys, m)
+			}
+		}
+		// Custom b.ReportMetric units ride along under their own names.
+		for _, m := range s.Metrics(name) {
+			if _, std := jsonKey[m]; !std {
+				keys = append(keys, m)
+			}
+		}
+		fmt.Printf("  %q: {", name)
+		for j, m := range keys {
+			k, ok := jsonKey[m]
+			if !ok {
+				k = m
+			}
+			if j > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%q: %.6g", k, perfstat.Mean(s.Values(name, m)))
+		}
+		if i < len(s.Names)-1 {
+			fmt.Println("},")
+		} else {
+			fmt.Println("}")
+		}
+	}
+	fmt.Println("}")
+	return nil
+}

@@ -312,3 +312,45 @@ func TestPooledEnvReuseAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestPooledJobReuseOscillatingShapes stresses the job-pool Reinit paths
+// the allocation-free MPI layer introduced: rank counts that oscillate
+// between large and small (growing and shrinking the pooled rank,
+// resource, and arena slices) and jobs alternating between clusters
+// (repointing pooled Systems at different specs). Concurrent execution
+// must produce results identical to a single-worker run of the same
+// batch — any stale pooled state (leaked envelopes, mis-sized rank
+// slices, reused payload arenas) shows up as a diff or as a -race report.
+func TestPooledJobReuseOscillatingShapes(t *testing.T) {
+	a := machine.MustGet("ClusterA")
+	bCluster := machine.MustGet("ClusterB")
+	shapes := []struct {
+		cluster *machine.ClusterSpec
+		ranks   int
+	}{
+		{a, 36}, {a, 2}, {bCluster, 52}, {a, 7}, {bCluster, 1}, {a, 18},
+		{bCluster, 13}, {a, 1}, {a, 24}, {bCluster, 4},
+	}
+	jobs := make([]spec.RunSpec, 0, len(shapes)*2)
+	for _, name := range []string{"tealeaf", "minisweep"} {
+		for _, sh := range shapes {
+			jobs = append(jobs, spec.RunSpec{
+				Benchmark: name, Class: bench.Tiny, Cluster: sh.cluster,
+				Ranks: sh.ranks, Options: bench.Options{SimSteps: 1},
+			})
+		}
+	}
+	// Fresh engines defeat memoization so both runs simulate every job;
+	// the single worker run is the sequential reference.
+	serial := New(1).Run(jobs)
+	parallel := New(4).Run(jobs)
+	for i := range jobs {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %d failed: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i].Result, parallel[i].Result) {
+			t.Fatalf("job %d (%s ranks=%d on %s): parallel result differs from serial",
+				i, jobs[i].Benchmark, jobs[i].Ranks, jobs[i].Cluster.Name)
+		}
+	}
+}

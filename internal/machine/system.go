@@ -64,22 +64,70 @@ func NewSystem(env *sim.Env, spec *ClusterSpec, n int) *System {
 	if n > spec.MaxRanks() {
 		panic(fmt.Sprintf("machine: %d ranks exceed %s capacity %d", n, spec.Name, spec.MaxRanks()))
 	}
-	s := &System{env: env, spec: spec, ranks: n, nodes: spec.NodesFor(n)}
+	s := &System{}
+	s.Reinit(env, spec, n)
+	return s
+}
+
+// domNames caches per-domain resource names for common domain counts so
+// per-job system construction does not Sprintf.
+var domNames = func() (d struct{ mem, l3 [128]string }) {
+	for i := range d.mem {
+		d.mem[i] = fmt.Sprintf("mem-dom%d", i)
+		d.l3[i] = fmt.Sprintf("l3-dom%d", i)
+	}
+	return
+}()
+
+func domName(mem bool, i int) string {
+	if i < len(domNames.mem) {
+		if mem {
+			return domNames.mem[i]
+		}
+		return domNames.l3[i]
+	}
+	if mem {
+		return fmt.Sprintf("mem-dom%d", i)
+	}
+	return fmt.Sprintf("l3-dom%d", i)
+}
+
+// Reinit repoints a pooled System at a new environment, cluster, and rank
+// count, reusing the per-domain resource structs and the rank-stats slice
+// from previous runs. It resets all accounting to the zero state, so a
+// reinitialized System is observationally identical to a fresh one.
+func (s *System) Reinit(env *sim.Env, spec *ClusterSpec, n int) {
+	if n <= 0 {
+		panic("machine: NewSystem with no ranks")
+	}
+	if n > spec.MaxRanks() {
+		panic(fmt.Sprintf("machine: %d ranks exceed %s capacity %d", n, spec.Name, spec.MaxRanks()))
+	}
+	s.env, s.spec, s.ranks, s.nodes = env, spec, n, spec.NodesFor(n)
+	s.finished, s.wall = false, 0
 	cpu := &spec.CPU
 	domains := s.nodes * cpu.DomainsPerNode()
-	s.memRes = make([]*sim.PSResource, domains)
-	s.l3Res = make([]*sim.PSResource, domains)
+	// The resource slices keep their high-water length across reuses so a
+	// campaign oscillating between job shapes never reconstructs them;
+	// only the first `domains` entries are live for this job.
+	for len(s.memRes) < domains {
+		d := len(s.memRes)
+		s.memRes = append(s.memRes, sim.NewPSResource(env, domName(true, d),
+			cpu.MemSaturatedPerDomain, cpu.MemPerCoreMax))
+		s.l3Res = append(s.l3Res, sim.NewPSResource(env, domName(false, d),
+			cpu.L3BandwidthPerDomain, cpu.L3BandwidthPerCoreMax))
+	}
 	for d := 0; d < domains; d++ {
-		s.memRes[d] = sim.NewPSResource(env, fmt.Sprintf("mem-dom%d", d),
-			cpu.MemSaturatedPerDomain, cpu.MemPerCoreMax)
-		s.l3Res[d] = sim.NewPSResource(env, fmt.Sprintf("l3-dom%d", d),
-			cpu.L3BandwidthPerDomain, cpu.L3BandwidthPerCoreMax)
+		s.memRes[d].Reinit(env, domName(true, d), cpu.MemSaturatedPerDomain, cpu.MemPerCoreMax)
+		s.l3Res[d].Reinit(env, domName(false, d), cpu.L3BandwidthPerDomain, cpu.L3BandwidthPerCoreMax)
 	}
-	s.rank = make([]RankStats, n)
+	for len(s.rank) < n {
+		s.rank = append(s.rank, RankStats{})
+	}
+	s.rank = s.rank[:n]
 	for r := range s.rank {
-		s.rank[r].Placement = spec.Place(r)
+		s.rank[r] = RankStats{Placement: spec.Place(r)}
 	}
-	return s
 }
 
 // Env returns the simulation environment.

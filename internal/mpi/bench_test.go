@@ -95,6 +95,61 @@ func BenchmarkAllreduceLarge(b *testing.B) {
 	})
 }
 
+// BenchmarkReduce measures binomial-tree reductions onto rank 0 across
+// 18 ranks (the collection step of every per-iteration residual check).
+func BenchmarkReduce(b *testing.B) {
+	benchJob(b, 18, func(r *Rank) {
+		data := []float64{float64(r.ID()), 1, 2, 3}
+		for i := 0; i < 8; i++ {
+			r.Reduce(0, data, 32, OpSum)
+		}
+	})
+}
+
+// BenchmarkBcast measures binomial-tree broadcasts from rank 0 across
+// 18 ranks (parameter distribution at iteration boundaries).
+func BenchmarkBcast(b *testing.B) {
+	benchJob(b, 18, func(r *Rank) {
+		data := []float64{1, 2, 3, 4}
+		for i := 0; i < 8; i++ {
+			r.Bcast(0, data, 32)
+		}
+	})
+}
+
+// BenchmarkAllgather measures the ring allgather across 18 ranks — the
+// n-1 step pipeline sphexa's domain exchange is built on.
+func BenchmarkAllgather(b *testing.B) {
+	benchJob(b, 18, func(r *Rank) {
+		data := []float64{float64(r.ID()), 1}
+		for i := 0; i < 4; i++ {
+			r.Allgather(data, 64)
+		}
+	})
+}
+
+// BenchmarkAlltoall measures the pairwise-exchange alltoall across 18
+// ranks, the densest communication pattern in the collective set.
+func BenchmarkAlltoall(b *testing.B) {
+	// Per-rank chunk tables are built once, outside the measured loop, so
+	// the benchmark counts MPI-layer allocations rather than its own setup.
+	const ranks = 18
+	all := make([][][]float64, ranks)
+	for id := range all {
+		chunks := make([][]float64, ranks)
+		for i := range chunks {
+			chunks[i] = []float64{float64(id), float64(i)}
+		}
+		all[id] = chunks
+	}
+	benchJob(b, ranks, func(r *Rank) {
+		chunks := all[r.ID()]
+		for i := 0; i < 4; i++ {
+			r.Alltoall(chunks, 64)
+		}
+	})
+}
+
 // BenchmarkHaloExchange measures the Sendrecv ring pattern every
 // stencil kernel uses, with per-message sizes around the eager
 // threshold boundary.

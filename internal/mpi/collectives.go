@@ -87,87 +87,29 @@ func (r *Rank) Allreduce(data []float64, modelBytes float64, op Op) []float64 {
 		}
 	}
 	n := r.Size()
-	acc := append([]float64(nil), data...)
+	acc := r.job.cloneFloats(data)
 	if n == 1 {
 		return acc
 	}
 	r.beginColl(trace.KindAllreduce)
 	defer r.endColl()
-
-	p2 := 1
-	for p2*2 <= n {
-		p2 *= 2
-	}
-	rem := n - p2
-	round := 0
-
-	// Fold: the first 2*rem ranks pair up; odd ranks send their data to
-	// the even neighbor and skip the doubling phase.
-	participating := true
-	if r.id < 2*rem {
-		if r.id%2 == 1 {
-			r.Send(r.id-1, r.collTag(round), acc, modelBytes)
-			participating = false
-		} else {
-			msg := r.Recv(r.id+1, r.collTag(round))
-			op.apply(acc, msg.Data)
-		}
-	}
-	round++
-
-	if participating {
-		// Map to a dense [0,p2) index space.
-		idx := r.id
-		if r.id < 2*rem {
-			idx = r.id / 2
-		} else {
-			idx = r.id - rem
-		}
-		fromIdx := func(i int) int {
-			if i < rem {
-				return 2 * i
-			}
-			return i + rem
-		}
-		for dist := 1; dist < p2; dist *= 2 {
-			partner := fromIdx(idx ^ dist)
-			sq := r.Isend(partner, r.collTag(round), acc, modelBytes)
-			msg := r.Recv(partner, r.collTag(round))
-			r.waitAs(sq, trace.KindAllreduce)
-			op.apply(acc, msg.Data)
-			round++
-		}
-	} else {
-		round += log2ceil(p2)
-	}
-
-	// Unfold: even ranks return the result to their odd neighbor.
-	if r.id < 2*rem {
-		if r.id%2 == 0 {
-			r.Send(r.id+1, r.collTag(round), acc, modelBytes)
-		} else {
-			msg := r.Recv(r.id-1, r.collTag(round))
-			acc = msg.Data
-		}
-	}
-	return acc
+	// The dense identity participant list makes this exactly the
+	// recursive-doubling-with-fold exchange the dedicated code used to
+	// spell out inline: same partners, same tags, same event order.
+	return r.doublingAmong(r.job.allRanks, acc, modelBytes, op, 0)
 }
 
 // allreduceLarge is the single-node Rabenseifner path: reduce-scatter +
 // allgather over all ranks. Each rank moves ~2x the payload in total,
 // which is why MPI libraries select this algorithm for large buffers.
 func (r *Rank) allreduceLarge(data []float64, modelBytes float64, op Op) []float64 {
-	acc := append([]float64(nil), data...)
+	acc := r.job.cloneFloats(data)
 	if r.Size() == 1 {
 		return acc
 	}
 	r.beginColl(trace.KindAllreduce)
 	defer r.endColl()
-	all := make([]int, r.Size())
-	for i := range all {
-		all[i] = i
-	}
-	return r.rsagAmong(all, acc, modelBytes, op, 0)
+	return r.rsagAmong(r.job.allRanks, acc, modelBytes, op, 0)
 }
 
 // allreduceHierarchical reduces within each node to a leader rank,
@@ -176,12 +118,12 @@ func (r *Rank) allreduceLarge(data []float64, modelBytes float64, op Op) []float
 // inter-node fabric. Tag-round layout: intra reduce 0..9, leader phase
 // 10..39, intra bcast 40..49 (all within the per-call tag window).
 func (r *Rank) allreduceHierarchical(data []float64, modelBytes float64, op Op) []float64 {
-	acc := append([]float64(nil), data...)
+	acc := r.job.cloneFloats(data)
 	r.beginColl(trace.KindAllreduce)
 	defer r.endColl()
 
 	n := r.Size()
-	cpn := r.Cluster().CPU.CoresPerNode()
+	cpn := r.job.cpn
 	node := r.place.Node
 	first := node * cpn
 	last := first + cpn - 1
@@ -207,12 +149,10 @@ func (r *Rank) allreduceHierarchical(data []float64, modelBytes float64, op Op) 
 		round++
 	}
 
-	// Phase 2: leaders allreduce across nodes.
+	// Phase 2: leaders allreduce across nodes (topology precomputed in
+	// mpi.Run).
 	if rel == 0 {
-		leaders := make([]int, 0, r.job.sys.Nodes())
-		for l := 0; l < n; l += cpn {
-			leaders = append(leaders, l)
-		}
+		leaders := r.job.leaders
 		if len(leaders) > 1 {
 			p2 := 1
 			for p2*2 <= len(leaders) {
@@ -257,6 +197,15 @@ func indexOf(list []int, id int) int {
 	return -1
 }
 
+// foldRank maps a dense [0,p2) doubling index back to the participant
+// rank, undoing the fold of the first 2*rem participants into pairs.
+func foldRank(participants []int, rem, i int) int {
+	if i < rem {
+		return participants[2*i]
+	}
+	return participants[i+rem]
+}
+
 // doublingAmong is a full-payload recursive-doubling allreduce over an
 // arbitrary participant list (with fold-in for non-powers of two), used
 // when payloads are too small for segment arithmetic.
@@ -287,14 +236,8 @@ func (r *Rank) doublingAmong(participants []int, acc []float64, modelBytes float
 		} else {
 			my = idx - rem
 		}
-		fromIdx := func(i int) int {
-			if i < rem {
-				return participants[2*i]
-			}
-			return participants[i+rem]
-		}
 		for dist := 1; dist < p2; dist *= 2 {
-			partner := fromIdx(my ^ dist)
+			partner := foldRank(participants, rem, my^dist)
 			sq := r.Isend(partner, r.collTag(round), acc, modelBytes)
 			msg := r.Recv(partner, r.collTag(round))
 			r.waitAs(sq, trace.KindAllreduce)
@@ -350,13 +293,7 @@ func (r *Rank) rsagAmong(participants []int, acc []float64, modelBytes float64, 
 		} else {
 			my = idx - rem
 		}
-		fromIdx := func(i int) int {
-			if i < rem {
-				return participants[2*i]
-			}
-			return participants[i+rem]
-		}
-		bounds := make([][2]int, rounds+1)
+		bounds := r.boundsScratch(rounds + 1)
 		lo, hi := 0, length
 		bounds[0] = [2]int{lo, hi}
 		d := p2 / 2
@@ -373,7 +310,7 @@ func (r *Rank) rsagAmong(participants []int, acc []float64, modelBytes float64, 
 		// Reduce-scatter.
 		d = p2 / 2
 		for t := 0; t < rounds; t++ {
-			partner := fromIdx(my ^ d)
+			partner := foldRank(participants, rem, my^d)
 			mine := bounds[t+1]
 			cur := bounds[t]
 			theirLo, theirHi := cur[0], cur[1]
@@ -393,7 +330,7 @@ func (r *Rank) rsagAmong(participants []int, acc []float64, modelBytes float64, 
 		// Allgather.
 		d = 1
 		for t := rounds - 1; t >= 0; t-- {
-			partner := fromIdx(my ^ d)
+			partner := foldRank(participants, rem, my^d)
 			mine := bounds[t+1]
 			cur := bounds[t]
 			theirLo, theirHi := cur[0], cur[1]
@@ -430,7 +367,7 @@ func (r *Rank) rsagAmong(participants []int, acc []float64, modelBytes float64, 
 // return nil.
 func (r *Rank) Reduce(root int, data []float64, modelBytes float64, op Op) []float64 {
 	n := r.Size()
-	acc := append([]float64(nil), data...)
+	acc := r.job.cloneFloats(data)
 	if n == 1 {
 		return acc
 	}
@@ -466,7 +403,7 @@ func (r *Rank) Reduce(root int, data []float64, modelBytes float64, op Op) []flo
 // returns the received slice (root returns its own copy).
 func (r *Rank) Bcast(root int, data []float64, modelBytes float64) []float64 {
 	n := r.Size()
-	buf := append([]float64(nil), data...)
+	buf := r.job.cloneFloats(data)
 	if n == 1 {
 		return buf
 	}
@@ -500,8 +437,8 @@ func (r *Rank) Bcast(root int, data []float64, modelBytes float64) []float64 {
 // paper-scale size of one rank's contribution.
 func (r *Rank) Allgather(data []float64, modelBytes float64) [][]float64 {
 	n := r.Size()
-	out := make([][]float64, n)
-	out[r.id] = append([]float64(nil), data...)
+	out := r.job.allocSlices(n)
+	out[r.id] = r.job.cloneFloats(data)
 	if n == 1 {
 		return out
 	}
@@ -529,8 +466,8 @@ func (r *Rank) Alltoall(chunks [][]float64, modelBytes float64) [][]float64 {
 	if len(chunks) != n {
 		panic("mpi: Alltoall chunk count != ranks")
 	}
-	out := make([][]float64, n)
-	out[r.id] = append([]float64(nil), chunks[r.id]...)
+	out := r.job.allocSlices(n)
+	out[r.id] = r.job.cloneFloats(chunks[r.id])
 	if n == 1 {
 		return out
 	}

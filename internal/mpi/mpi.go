@@ -19,6 +19,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/netsim"
@@ -57,26 +58,135 @@ type Result struct {
 	Wall float64
 }
 
-// Job is the runtime state of a simulated MPI application.
+// Job is the runtime state of a simulated MPI application. Jobs are
+// recycled through jobPool: the System/Network instances, the Rank
+// structs (with their matching-queue and collective-scratch capacity),
+// and the spawn closures all survive across runs, so a steady-state
+// campaign job performs no per-rank setup allocation.
 type Job struct {
 	env   *sim.Env
 	sys   *machine.System
 	net   *netsim.Network
 	rec   *trace.Recorder
-	ranks []*Rank
+	ranks []*Rank // live ranks for this run: rankStore[:n]
+
+	// rankStore keeps every Rank ever created for this Job at its
+	// high-water length, so shrinking and regrowing the job shape does
+	// not reconstruct ranks.
+	rankStore []*Rank
 
 	// Per-job bump arenas (sim.BumpAlloc) for protocol objects.
 	// Envelopes, requests, and messages all die with the job, so
 	// handing them out from chunks trades one allocation per object
-	// for one per chunk.
+	// for one per chunk. The chunks are dropped (not pooled) when the
+	// job is released: any payload or message a rank body leaked to
+	// its caller stays valid forever, pinned by the GC, instead of
+	// being clobbered by the next pooled run.
 	envChunk []envelope
 	reqChunk []Request
 	msgChunk []Message
+	// floatChunk backs every payload copy (Isend capture, collective
+	// accumulators) and sliceChunk the out-slice headers of
+	// Allgather/Alltoall; msgsChunk backs Waitall result slices.
+	floatChunk []float64
+	sliceChunk [][]float64
+	msgsChunk  []*Message
+
+	// Collective topology, precomputed once per run in mpi.Run instead
+	// of per collective call: the dense identity participant list, the
+	// node-leader list of the hierarchical allreduce, and the
+	// cores-per-node stride that defines it.
+	allRanks []int
+	leaders  []int
+	cpn      int
 }
 
-func (j *Job) newEnvelope() *envelope { return sim.BumpAlloc(&j.envChunk, 128) }
-func (j *Job) newRequest() *Request   { return sim.BumpAlloc(&j.reqChunk, 128) }
-func (j *Job) newMessage() *Message   { return sim.BumpAlloc(&j.msgChunk, 128) }
+// arenaChunk scales a per-rank chunk quota to the job size, clamped so
+// a 2-rank ping-pong job does not pay for 18-rank slabs and an 800-rank
+// job does not allocate multi-megabyte ones. Refills stay amortized:
+// steady state is a handful of chunk allocations per job at any size.
+func (j *Job) arenaChunk(perRank, floor, limit int) int {
+	n := perRank * len(j.ranks)
+	if n < floor {
+		n = floor
+	}
+	if n > limit {
+		n = limit
+	}
+	return n
+}
+
+func (j *Job) newEnvelope() *envelope {
+	return sim.BumpAlloc(&j.envChunk, j.arenaChunk(64, 128, 8192))
+}
+func (j *Job) newRequest() *Request {
+	return sim.BumpAlloc(&j.reqChunk, j.arenaChunk(128, 256, 16384))
+}
+func (j *Job) newMessage() *Message {
+	return sim.BumpAlloc(&j.msgChunk, j.arenaChunk(64, 128, 8192))
+}
+
+// allocFloats hands out a zeroed []float64 of length n from the job's
+// payload arena. Zero-length requests return nil, matching the historic
+// `append([]float64(nil), data...)` behavior for empty payloads.
+func (j *Job) allocFloats(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if n > len(j.floatChunk) {
+		size := j.arenaChunk(512, 1024, 65536)
+		if n > size {
+			size = n
+		}
+		j.floatChunk = make([]float64, size)
+	}
+	s := j.floatChunk[:n:n]
+	j.floatChunk = j.floatChunk[n:]
+	return s
+}
+
+// cloneFloats copies data into the payload arena.
+func (j *Job) cloneFloats(data []float64) []float64 {
+	s := j.allocFloats(len(data))
+	copy(s, data)
+	return s
+}
+
+// allocSlices hands out a [][]float64 of length n from the job arena
+// (backing for Allgather/Alltoall results).
+func (j *Job) allocSlices(n int) [][]float64 {
+	if n > len(j.sliceChunk) {
+		size := j.arenaChunk(4, 64, 4096)
+		if n > size {
+			size = n
+		}
+		j.sliceChunk = make([][]float64, size)
+	}
+	s := j.sliceChunk[:n:n]
+	j.sliceChunk = j.sliceChunk[n:]
+	return s
+}
+
+// allocMsgPtrs hands out a []*Message of length n from the job arena
+// (backing for Waitall results).
+func (j *Job) allocMsgPtrs(n int) []*Message {
+	if n > len(j.msgsChunk) {
+		size := j.arenaChunk(8, 64, 4096)
+		if n > size {
+			size = n
+		}
+		j.msgsChunk = make([]*Message, size)
+	}
+	s := j.msgsChunk[:n:n]
+	j.msgsChunk = j.msgsChunk[n:]
+	return s
+}
+
+// jobPool recycles Job state across runs. Like the sim environment pool,
+// each campaign worker acquires its own Job, so reuse is race-free by
+// construction; failed runs (deadlock, panic) are abandoned to the GC
+// because blocked rank goroutines may still reference them.
+var jobPool = sync.Pool{New: func() any { return &Job{} }}
 
 // Rank is one MPI process. All methods must be called from within the
 // rank's own body function.
@@ -85,12 +195,24 @@ type Rank struct {
 	id    int
 	proc  *sim.Proc
 	place machine.Placement
+	body  func(*Rank)
+	runFn func(*sim.Proc) // persistent spawn closure; reused across pooled runs
 
 	unexpected []*envelope
 	posted     []*Request
+	bounds     [][2]int // rsag chunk-bounds scratch; never escapes a collective
 	collSeq    int
 	collKind   trace.Kind
 	inColl     bool
+}
+
+// boundsScratch returns the rank's reusable [n][2]int table for the
+// reduce-scatter/allgather segment arithmetic.
+func (r *Rank) boundsScratch(n int) [][2]int {
+	if cap(r.bounds) < n {
+		r.bounds = make([][2]int, n)
+	}
+	return r.bounds[:n]
 }
 
 // Run simulates an MPI job: it spawns cfg.Ranks processes each executing
@@ -117,30 +239,91 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 		return Result{}, err
 	}
 
-	// Environments come from the sim pool: event slabs, process structs,
-	// and resume channels are recycled across campaign jobs. Failed runs
+	// Environments and job state come from pools: event slabs, process
+	// structs, resume channels, machine/network resources, and Rank
+	// structs are all recycled across campaign jobs. Failed runs
 	// (deadlock, panic) are abandoned instead of released, since blocked
-	// rank goroutines may still reference the environment.
+	// rank goroutines may still reference them.
 	env := sim.AcquireEnv()
-	sys := machine.NewSystem(env, cfg.Cluster, cfg.Ranks)
-	net := netsim.New(env, cfg.Net, cfg.Cluster.NodesFor(cfg.Ranks))
-	job := &Job{env: env, sys: sys, net: net, rec: cfg.Trace}
-	job.ranks = make([]*Rank, cfg.Ranks)
-	for i := 0; i < cfg.Ranks; i++ {
-		r := &Rank{job: job, id: i, place: cfg.Cluster.Place(i)}
-		job.ranks[i] = r
-		r.proc = env.Spawn(rankName(i), func(p *sim.Proc) {
-			r.proc = p
-			body(r)
-			sys.RankFinished(r.id, p.Now())
-		})
-	}
+	job := jobPool.Get().(*Job)
+	job.init(env, cfg, body)
 	if err := env.Run(); err != nil {
 		return Result{}, err
 	}
-	u := sys.Usage()
+	u := job.sys.Usage()
 	sim.ReleaseEnv(env)
+	job.release()
 	return Result{Usage: u, Trace: cfg.Trace, Wall: u.Wall}, nil
+}
+
+// init prepares a pooled Job for one run: reinitializes the machine and
+// network instances in place, resets the live ranks, and precomputes the
+// collective topology. In steady state (shapes at or below the pool
+// entry's high-water marks) it allocates nothing.
+func (j *Job) init(env *sim.Env, cfg Config, body func(r *Rank)) {
+	n := cfg.Ranks
+	j.env, j.rec = env, cfg.Trace
+	if j.sys == nil {
+		j.sys = machine.NewSystem(env, cfg.Cluster, n)
+	} else {
+		j.sys.Reinit(env, cfg.Cluster, n)
+	}
+	nodes := cfg.Cluster.NodesFor(n)
+	if j.net == nil {
+		j.net = netsim.New(env, cfg.Net, nodes)
+	} else {
+		j.net.Reinit(env, cfg.Net, nodes)
+	}
+
+	// Collective topology for this job: identity participant list and
+	// node-leader list, shared by every collective call of the run.
+	j.cpn = cfg.Cluster.CPU.CoresPerNode()
+	j.allRanks = j.allRanks[:0]
+	j.leaders = j.leaders[:0]
+	for i := 0; i < n; i++ {
+		j.allRanks = append(j.allRanks, i)
+	}
+	for l := 0; l < n; l += j.cpn {
+		j.leaders = append(j.leaders, l)
+	}
+
+	for len(j.rankStore) < n {
+		r := &Rank{job: j, id: len(j.rankStore)}
+		// The spawn closure is built once per Rank lifetime and reused
+		// by every pooled run, so spawning allocates no per-run closure.
+		r.runFn = func(p *sim.Proc) {
+			r.proc = p
+			r.body(r)
+			r.job.sys.RankFinished(r.id, p.Now())
+		}
+		j.rankStore = append(j.rankStore, r)
+	}
+	j.ranks = j.rankStore[:n]
+	for i, r := range j.ranks {
+		r.place = cfg.Cluster.Place(i)
+		r.body = body
+		r.collSeq, r.collKind, r.inColl = 0, 0, false
+		r.proc = env.Spawn(rankName(i), r.runFn)
+	}
+}
+
+// release drops the job-scoped arenas (so leaked payloads stay valid,
+// pinned by the GC), severs references the pool must not retain, and
+// returns the Job for reuse.
+func (j *Job) release() {
+	j.env, j.rec = nil, nil
+	j.envChunk, j.reqChunk, j.msgChunk = nil, nil, nil
+	j.floatChunk, j.sliceChunk, j.msgsChunk = nil, nil, nil
+	for _, r := range j.rankStore {
+		r.body, r.proc = nil, nil
+		// The matching queues are empty after a clean run, but their
+		// backing arrays still hold stale pointers into the dropped
+		// chunks; clear up to capacity so the pool does not pin them.
+		clear(r.posted[:cap(r.posted)])
+		clear(r.unexpected[:cap(r.unexpected)])
+		r.posted, r.unexpected = r.posted[:0], r.unexpected[:0]
+	}
+	jobPool.Put(j)
 }
 
 // rankNames caches process names for common rank counts so spawning a

@@ -80,8 +80,11 @@ func (r *Rank) Waitany(reqs []*Request) int {
 // envelope is the in-flight representation of one message. Its header
 // arrives at the destination one latency after injection (preserving MPI
 // pair ordering); its data arrives when the wire flows finish (eager) or
-// after the rendezvous handshake.
+// after the rendezvous handshake. The job pointer lets the protocol
+// advance through static callbacks (sim.AfterArg / netsim.StartTransferArg)
+// instead of per-message closures.
 type envelope struct {
+	job         *Job
 	src, dst    int
 	tag         int
 	modelBytes  float64
@@ -90,6 +93,47 @@ type envelope struct {
 	dataArrived bool
 	sendReq     *Request
 	recvReq     *Request
+}
+
+// envHeaderArrive, eagerDataArrived, rendezvousCTS, and rendezvousDone
+// are the static protocol-event callbacks: everything they need rides in
+// the envelope, so scheduling them allocates nothing.
+func envHeaderArrive(a any) {
+	env := a.(*envelope)
+	env.job.headerArrive(env)
+}
+
+func eagerDataArrived(a any) {
+	env := a.(*envelope)
+	env.dataArrived = true
+	if env.recvReq != nil {
+		env.job.completeRecv(env)
+	}
+}
+
+// rendezvousCTS fires when the clear-to-send reaches the sender: the data
+// crosses the wire and both requests complete when it lands.
+func rendezvousCTS(a any) {
+	env := a.(*envelope)
+	j := env.job
+	srcNode := j.ranks[env.src].place.Node
+	dstNode := j.ranks[env.dst].place.Node
+	j.net.StartTransferArg(srcNode, dstNode, env.modelBytes, rendezvousDone, env)
+}
+
+// rendezvousDone completes a rendezvous transfer. The completion is
+// symmetric — sender and receiver unblock at the same instant — so both
+// wakeups ride one batched queue entry.
+func rendezvousDone(a any) {
+	env := a.(*envelope)
+	j := env.job
+	env.dataArrived = true
+	env.sendReq.state = reqDone
+	if j.finishRecv(env) {
+		j.wakePair(env.src, env.dst)
+	} else {
+		j.wake(env.src)
+	}
 }
 
 // Isend starts a nonblocking send of data to rank dst. ModelBytes drives
@@ -105,11 +149,15 @@ func (r *Rank) Isend(dst, tag int, data []float64, modelBytes float64) *Request 
 	r.mpiInterval(kind, t0, dst)
 
 	env := j.newEnvelope()
+	env.job = j
 	env.src = r.id
 	env.dst = dst
 	env.tag = tag
 	env.modelBytes = modelBytes
-	env.data = append([]float64(nil), data...)
+	// The payload is captured at submission time (the caller may reuse
+	// its buffer immediately, as after a real MPI_Isend completion); the
+	// copy lives in the job's payload arena.
+	env.data = j.cloneFloats(data)
 	req := j.newRequest()
 	req.rank, req.send, req.peer, req.tag, req.env = r, true, dst, tag, env
 	env.sendReq = req
@@ -120,14 +168,9 @@ func (r *Rank) Isend(dst, tag int, data []float64, modelBytes float64) *Request 
 	if env.eager {
 		// Eager: buffer is on the wire; the send completes locally.
 		req.state = reqDone
-		j.net.StartTransfer(srcNode, dstNode, modelBytes, func() {
-			env.dataArrived = true
-			if env.recvReq != nil {
-				j.completeRecv(env)
-			}
-		})
+		j.net.StartTransferArg(srcNode, dstNode, modelBytes, eagerDataArrived, env)
 	}
-	j.env.After(lat, func() { j.headerArrive(env) })
+	j.env.AfterArg(lat, envHeaderArrive, env)
 	return req
 }
 
@@ -156,9 +199,10 @@ func (r *Rank) Irecv(src, tag int) *Request {
 func (r *Rank) Wait(q *Request) *Message { return r.waitAs(q, trace.KindWait) }
 
 // Waitall blocks until every request completes, returning receive messages
-// in request order (nil entries for sends).
+// in request order (nil entries for sends). The result slice is backed by
+// the job arena and stays valid for the life of the job.
 func (r *Rank) Waitall(reqs []*Request) []*Message {
-	msgs := make([]*Message, len(reqs))
+	msgs := r.job.allocMsgPtrs(len(reqs))
 	for i, q := range reqs {
 		msgs[i] = r.waitAs(q, trace.KindWait)
 	}
@@ -297,22 +341,11 @@ func (j *Job) matchEnvelope(env *envelope, req *Request) {
 		return
 	}
 	// Rendezvous: CTS travels back to the sender (one latency), then the
-	// data crosses the wire; both requests complete when it lands. The
-	// completion is symmetric — sender and receiver unblock at the same
-	// instant — so both wakeups ride one batched queue entry.
+	// data crosses the wire; both requests complete when it lands (see
+	// rendezvousCTS / rendezvousDone).
 	src, dst := j.ranks[env.src], j.ranks[env.dst]
 	lat := j.net.Latency(src.place.Node, dst.place.Node)
-	j.env.After(lat, func() {
-		j.net.StartTransfer(src.place.Node, dst.place.Node, env.modelBytes, func() {
-			env.dataArrived = true
-			env.sendReq.state = reqDone
-			if j.finishRecv(env) {
-				j.wakePair(env.src, env.dst)
-			} else {
-				j.wake(env.src)
-			}
-		})
-	})
+	j.env.AfterArg(lat, rendezvousCTS, env)
 }
 
 // finishRecv marks a matched receive whose data has arrived as complete

@@ -1,0 +1,8 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in. Race
+// instrumentation allocates shadow state per goroutine and per sync
+// operation, so allocation-budget tests are meaningless under -race.
+const raceEnabled = true

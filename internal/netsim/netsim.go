@@ -84,24 +84,74 @@ type Network struct {
 	nicOut []*sim.PSResource // injection per node
 	nicIn  []*sim.PSResource // ejection per node
 	shmem  []*sim.PSResource // intra-node copy bandwidth per node
+
+	// pairChunk bump-allocates the two-flow join records used by
+	// inter-node StartTransferArg. The chunks die with the job (they are
+	// dropped on Reinit), so completions never alias across runs.
+	pairChunk []pairXfer
+}
+
+// nodeNames caches per-node resource names for common node counts so
+// building (or reinitializing) a network does not Sprintf per node.
+var nodeNames = func() (n struct{ out, in, shm [64]string }) {
+	for i := range n.out {
+		n.out[i] = fmt.Sprintf("nic-out%d", i)
+		n.in[i] = fmt.Sprintf("nic-in%d", i)
+		n.shm[i] = fmt.Sprintf("shmem%d", i)
+	}
+	return
+}()
+
+func nodeName(kind int, i int) string {
+	if i < len(nodeNames.out) {
+		switch kind {
+		case 0:
+			return nodeNames.out[i]
+		case 1:
+			return nodeNames.in[i]
+		default:
+			return nodeNames.shm[i]
+		}
+	}
+	switch kind {
+	case 0:
+		return fmt.Sprintf("nic-out%d", i)
+	case 1:
+		return fmt.Sprintf("nic-in%d", i)
+	default:
+		return fmt.Sprintf("shmem%d", i)
+	}
 }
 
 // New creates a Network for the given node count.
 func New(env *sim.Env, spec Spec, nodes int) *Network {
+	n := &Network{}
+	n.Reinit(env, spec, nodes)
+	return n
+}
+
+// Reinit repoints a pooled Network at a new environment, spec, and node
+// count, reusing the per-node resource structs (and their allocated flow
+// lists) from previous runs. Growth beyond the previous maximum node
+// count allocates only the new tail.
+func (n *Network) Reinit(env *sim.Env, spec Spec, nodes int) {
 	if nodes <= 0 {
 		panic("netsim: network with no nodes")
 	}
-	n := &Network{env: env, spec: spec, nodes: nodes}
-	n.nicOut = make([]*sim.PSResource, nodes)
-	n.nicIn = make([]*sim.PSResource, nodes)
-	n.shmem = make([]*sim.PSResource, nodes)
-	for i := 0; i < nodes; i++ {
-		n.nicOut[i] = sim.NewPSResource(env, fmt.Sprintf("nic-out%d", i), spec.LinkBandwidth, 0)
-		n.nicIn[i] = sim.NewPSResource(env, fmt.Sprintf("nic-in%d", i), spec.LinkBandwidth, 0)
-		n.shmem[i] = sim.NewPSResource(env, fmt.Sprintf("shmem%d", i),
-			spec.ShmemBandwidthPerNode, spec.ShmemPerFlowMax)
+	n.env, n.spec, n.nodes = env, spec, nodes
+	n.pairChunk = nil
+	for len(n.nicOut) < nodes {
+		i := len(n.nicOut)
+		n.nicOut = append(n.nicOut, sim.NewPSResource(env, nodeName(0, i), spec.LinkBandwidth, 0))
+		n.nicIn = append(n.nicIn, sim.NewPSResource(env, nodeName(1, i), spec.LinkBandwidth, 0))
+		n.shmem = append(n.shmem, sim.NewPSResource(env, nodeName(2, i),
+			spec.ShmemBandwidthPerNode, spec.ShmemPerFlowMax))
 	}
-	return n
+	for i := 0; i < nodes; i++ {
+		n.nicOut[i].Reinit(env, nodeName(0, i), spec.LinkBandwidth, 0)
+		n.nicIn[i].Reinit(env, nodeName(1, i), spec.LinkBandwidth, 0)
+		n.shmem[i].Reinit(env, nodeName(2, i), spec.ShmemBandwidthPerNode, spec.ShmemPerFlowMax)
+	}
 }
 
 // Spec returns the interconnect parameters.
@@ -163,4 +213,43 @@ func (n *Network) StartTransfer(src, dst int, bytes float64, done func()) {
 	}
 	n.nicOut[src].StartFlow(bytes, complete)
 	n.nicIn[dst].StartFlow(bytes, complete)
+}
+
+// pairXfer joins the injection and ejection flows of one inter-node
+// transfer: the stored callback fires when the second flow completes.
+type pairXfer struct {
+	remaining int
+	fn        func(any)
+	arg       any
+}
+
+// pairFlowDone is the static flow-completion callback for one half of an
+// inter-node transfer pair.
+func pairFlowDone(a any) {
+	p := a.(*pairXfer)
+	p.remaining--
+	if p.remaining == 0 && p.fn != nil {
+		p.fn(p.arg)
+	}
+}
+
+// StartTransferArg is the closure-free variant of StartTransfer: fn(arg)
+// fires when the bytes have fully arrived. fn should be a top-level
+// function; the inter-node join record comes from a per-job bump arena,
+// so steady-state transfers allocate nothing.
+func (n *Network) StartTransferArg(src, dst int, bytes float64, fn func(any), arg any) {
+	if bytes <= 0 {
+		if fn != nil {
+			n.env.AfterArg(0, fn, arg)
+		}
+		return
+	}
+	if src == dst {
+		n.shmem[src].StartFlowArg(2*bytes, fn, arg)
+		return
+	}
+	p := sim.BumpAlloc(&n.pairChunk, 256)
+	p.remaining, p.fn, p.arg = 2, fn, arg
+	n.nicOut[src].StartFlowArg(bytes, pairFlowDone, p)
+	n.nicIn[dst].StartFlowArg(bytes, pairFlowDone, p)
 }

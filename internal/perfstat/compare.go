@@ -1,0 +1,119 @@
+package perfstat
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Delta is the comparison of one benchmark metric between a baseline
+// ("old") and a candidate ("new") sample set.
+type Delta struct {
+	Name    string
+	OldMean float64
+	NewMean float64
+	OldN    int
+	NewN    int
+	Pct     float64 // percent change of the means; +Inf for 0 -> nonzero
+	P       float64 // two-sided Mann-Whitney p-value
+	Sig     bool    // P < alpha
+	OldOnly bool    // benchmark disappeared from the candidate run
+	NewOnly bool    // benchmark absent from the baseline
+}
+
+// Compare evaluates one metric across two sample sets. Benchmarks are
+// reported in the candidate set's order, followed by baseline-only
+// entries; benchmarks lacking the metric on both sides are skipped.
+func Compare(oldSet, newSet *Set, metric string, alpha float64) []Delta {
+	var out []Delta
+	seen := make(map[string]bool)
+	for _, name := range newSet.Names {
+		seen[name] = true
+		nv := newSet.Values(name, metric)
+		ov := oldSet.Values(name, metric)
+		if len(nv) == 0 && len(ov) == 0 {
+			continue
+		}
+		d := Delta{Name: name, OldN: len(ov), NewN: len(nv),
+			OldMean: Mean(ov), NewMean: Mean(nv)}
+		switch {
+		case len(ov) == 0:
+			d.NewOnly = true
+		case len(nv) == 0:
+			d.OldOnly = true
+		default:
+			d.P = MannWhitneyU(ov, nv)
+			d.Sig = d.P < alpha
+			if d.OldMean != 0 {
+				d.Pct = 100 * (d.NewMean - d.OldMean) / d.OldMean
+			} else if d.NewMean != 0 {
+				d.Pct = math.Inf(1)
+			}
+		}
+		out = append(out, d)
+	}
+	for _, name := range oldSet.Names {
+		if seen[name] {
+			continue
+		}
+		ov := oldSet.Values(name, metric)
+		if len(ov) == 0 {
+			continue
+		}
+		out = append(out, Delta{Name: name, OldN: len(ov), OldMean: Mean(ov),
+			NewMean: math.NaN(), OldOnly: true})
+	}
+	return out
+}
+
+// Regressed reports whether a delta should fail a gate allowing metric
+// growth of up to maxGrowthPct: the shift must be statistically
+// significant AND exceed the growth allowance (so significant-but-tiny
+// shifts pass, as do large-but-noisy ones). A disappeared benchmark is
+// always a regression — a gate that silently stops measuring is worse
+// than one that fails.
+func (d Delta) Regressed(maxGrowthPct float64) bool {
+	if d.OldOnly {
+		return true
+	}
+	if d.NewOnly {
+		return false
+	}
+	return d.Sig && d.Pct > maxGrowthPct
+}
+
+// FormatTable renders deltas as the benchstat-style table the CI log
+// shows: mean ± sample count per side, percent shift, and either the
+// p-value or "~" when the difference is not significant at alpha.
+func FormatTable(w io.Writer, deltas []Delta, metric string, alpha, maxGrowthPct float64) {
+	fmt.Fprintf(w, "%-34s %16s %16s %10s %9s\n",
+		"benchmark", "old "+metric, "new "+metric, "delta", "p")
+	for _, d := range deltas {
+		switch {
+		case d.OldOnly:
+			fmt.Fprintf(w, "%-34s %16s %16s %10s %9s  << MISSING\n",
+				d.Name, fmtMean(d.OldMean, d.OldN), "-", "-", "-")
+		case d.NewOnly:
+			fmt.Fprintf(w, "%-34s %16s %16s %10s %9s\n",
+				d.Name, "-", fmtMean(d.NewMean, d.NewN), "new", "-")
+		default:
+			sig := "~"
+			if d.Sig {
+				sig = fmt.Sprintf("%.3f", d.P)
+			}
+			flag := ""
+			if d.Regressed(maxGrowthPct) {
+				flag = "  << REGRESSION"
+			}
+			fmt.Fprintf(w, "%-34s %16s %16s %+9.1f%% %9s%s\n",
+				d.Name, fmtMean(d.OldMean, d.OldN), fmtMean(d.NewMean, d.NewN),
+				d.Pct, sig, flag)
+		}
+	}
+	fmt.Fprintf(w, "(%s; alpha=%.2g, max growth %.4g%%; '~' = not significant)\n",
+		metric, alpha, maxGrowthPct)
+}
+
+func fmtMean(v float64, n int) string {
+	return fmt.Sprintf("%.4g (n=%d)", v, n)
+}

@@ -1,0 +1,222 @@
+// Package perfstat implements the benchmark-statistics pipeline the
+// perf-tracking gate is built on: parsing standard Go benchmark output
+// (the benchfmt every `go test -bench` run emits), summarizing repeated
+// samples, and comparing two sets of samples with a Mann-Whitney U test
+// — the same nonparametric significance test benchstat uses.
+//
+// The point of the statistics is that as hot-path speedups get smaller,
+// a single-run percent threshold becomes noise-limited: one slow sample
+// on a busy CI runner reads as a 20% "regression", and a real 5%
+// regression hides inside run-to-run jitter. With N samples per side,
+// the U test asks whether the two sample sets plausibly come from the
+// same distribution, so the gate only fails when the shift is both
+// statistically significant and practically large.
+//
+// Everything here is standard library only; the package deliberately
+// mirrors the vocabulary of golang.org/x/perf (benchfmt, benchstat)
+// without depending on it.
+package perfstat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark result line: a name plus its metric values
+// ("ns/op", "B/op", "allocs/op", and any custom b.ReportMetric units).
+type Sample struct {
+	Name    string
+	Iters   int
+	Metrics map[string]float64
+}
+
+// Set groups repeated samples of many benchmarks, preserving first-seen
+// benchmark order.
+type Set struct {
+	Names  []string
+	byName map[string]map[string][]float64
+}
+
+// Values returns the samples of one metric of one benchmark (nil if
+// absent).
+func (s *Set) Values(name, metric string) []float64 {
+	if s.byName == nil {
+		return nil
+	}
+	return s.byName[name][metric]
+}
+
+// Metrics returns the metric units recorded for a benchmark, sorted.
+func (s *Set) Metrics(name string) []string {
+	var ms []string
+	for m := range s.byName[name] {
+		ms = append(ms, m)
+	}
+	sort.Strings(ms)
+	return ms
+}
+
+// Add appends a sample to the set.
+func (s *Set) Add(sm Sample) {
+	if s.byName == nil {
+		s.byName = make(map[string]map[string][]float64)
+	}
+	if _, ok := s.byName[sm.Name]; !ok {
+		s.byName[sm.Name] = make(map[string][]float64)
+		s.Names = append(s.Names, sm.Name)
+	}
+	for unit, v := range sm.Metrics {
+		s.byName[sm.Name][unit] = append(s.byName[sm.Name][unit], v)
+	}
+}
+
+// cpuSuffix strips the -N GOMAXPROCS suffix go test appends to names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseLine parses one benchfmt result line; ok is false for non-result
+// lines (headers, PASS, unit metadata), which callers skip.
+func ParseLine(line string) (Sample, bool) {
+	f := strings.Fields(line)
+	// A result line is: BenchmarkName iters value unit [value unit]...
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || len(f)%2 != 0 {
+		return Sample{}, false
+	}
+	iters, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Sample{}, false
+	}
+	sm := Sample{
+		Name:    cpuSuffix.ReplaceAllString(f[0], ""),
+		Iters:   iters,
+		Metrics: make(map[string]float64, (len(f)-2)/2),
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Sample{}, false
+		}
+		sm.Metrics[f[i+1]] = v
+	}
+	return sm, true
+}
+
+// Parse reads benchfmt output, collecting every result line into a Set.
+// It returns an error only on I/O failure or if no result line was found
+// (which almost always means a build failure upstream of the pipe).
+func Parse(r io.Reader) (*Set, error) {
+	s := &Set{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if sm, ok := ParseLine(sc.Text()); ok {
+			s.Add(sm)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Names) == 0 {
+		return nil, fmt.Errorf("perfstat: no benchmark result lines found")
+	}
+	return s, nil
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the middle value (NaN for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MannWhitneyU performs the two-sided Mann-Whitney U test (Wilcoxon
+// rank-sum) and returns the p-value: the probability of a rank split at
+// least this extreme if both sample sets came from one distribution. It
+// uses the tie-corrected normal approximation with continuity
+// correction, which is the standard choice for the small equal-size
+// sample sets a benchmark gate collects (and what benchstat falls back
+// to beyond its exact-distribution table). Degenerate inputs (either
+// side empty, or all values across both sides identical) return 1.
+func MannWhitneyU(x, y []float64) float64 {
+	nx, ny := float64(len(x)), float64(len(y))
+	if nx == 0 || ny == 0 {
+		return 1
+	}
+
+	// Rank the pooled samples, assigning tied values their average rank.
+	type obs struct {
+		v     float64
+		fromX bool
+	}
+	pool := make([]obs, 0, len(x)+len(y))
+	for _, v := range x {
+		pool = append(pool, obs{v, true})
+	}
+	for _, v := range y {
+		pool = append(pool, obs{v, false})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].v < pool[j].v })
+
+	n := len(pool)
+	ranks := make([]float64, n)
+	tieTerm := 0.0 // sum over tie groups of t^3 - t, for the variance correction
+	for i := 0; i < n; {
+		j := i
+		for j < n && pool[j].v == pool[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+
+	rx := 0.0
+	for i, o := range pool {
+		if o.fromX {
+			rx += ranks[i]
+		}
+	}
+	u := rx - nx*(nx+1)/2 // U statistic for x
+
+	mean := nx * ny / 2
+	variance := nx * ny / 12 * ((nx + ny + 1) - tieTerm/((nx+ny)*(nx+ny-1)))
+	if variance <= 0 {
+		return 1 // every pooled value identical
+	}
+	// Continuity correction: shrink the deviation by 1/2 toward the mean.
+	dev := math.Abs(u-mean) - 0.5
+	if dev < 0 {
+		dev = 0
+	}
+	z := dev / math.Sqrt(variance)
+	// Two-sided p from the standard normal survival function.
+	return math.Erfc(z / math.Sqrt2)
+}

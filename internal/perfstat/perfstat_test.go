@@ -1,0 +1,190 @@
+package perfstat
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/spechpc/spechpc-sim/internal/mpi
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBarrier-8      	      20	   4490880 ns/op	  565331 B/op	      37 allocs/op
+BenchmarkBarrier-8      	      20	   4321000 ns/op	  565200 B/op	      37 allocs/op
+BenchmarkAllreduceSmall-8      	      20	   1578442 ns/op	  415274 B/op	      32 allocs/op
+BenchmarkFig5MultiNode 	       1	2500000000 ns/op	        3.04 soma-B-x(paper:3.06)
+PASS
+ok  	github.com/spechpc/spechpc-sim/internal/mpi	0.240s
+`
+
+func TestParse(t *testing.T) {
+	s, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"BenchmarkBarrier", "BenchmarkAllreduceSmall", "BenchmarkFig5MultiNode"}
+	if len(s.Names) != len(want) {
+		t.Fatalf("names = %v, want %v", s.Names, want)
+	}
+	for i, n := range want {
+		if s.Names[i] != n {
+			t.Errorf("names[%d] = %q, want %q", i, s.Names[i], n)
+		}
+	}
+	if got := s.Values("BenchmarkBarrier", "ns/op"); len(got) != 2 || got[0] != 4490880 || got[1] != 4321000 {
+		t.Errorf("Barrier ns/op samples = %v", got)
+	}
+	if got := s.Values("BenchmarkBarrier", "allocs/op"); len(got) != 2 || got[0] != 37 {
+		t.Errorf("Barrier allocs/op samples = %v", got)
+	}
+	// Custom b.ReportMetric units must parse too.
+	if got := s.Values("BenchmarkFig5MultiNode", "soma-B-x(paper:3.06)"); len(got) != 1 || got[0] != 3.04 {
+		t.Errorf("custom metric samples = %v", got)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	pkg	0.2s",
+		"goos: linux",
+		"Benchmark onlyname",
+		"BenchmarkX notanumber 12 ns/op",
+	} {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("ParseLine accepted %q", line)
+		}
+	}
+	if _, err := Parse(strings.NewReader("PASS\n")); err == nil {
+		t.Error("Parse accepted output with no result lines")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Errorf("Median = %v, want 2.5", got)
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd Median = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
+		t.Error("empty Mean/Median should be NaN")
+	}
+}
+
+func TestMannWhitneyU(t *testing.T) {
+	// Identical distributions: p must be 1 (no evidence of a shift).
+	same := []float64{5, 5, 5, 5, 5}
+	if p := MannWhitneyU(same, same); p != 1 {
+		t.Errorf("identical samples: p = %v, want 1", p)
+	}
+	// Fully separated samples: p must be small.
+	lo := []float64{1, 2, 3, 4, 5, 6}
+	hi := []float64{101, 102, 103, 104, 105, 106}
+	if p := MannWhitneyU(lo, hi); p > 0.01 {
+		t.Errorf("separated samples: p = %v, want < 0.01", p)
+	}
+	// Symmetry: the two-sided p-value is direction-independent.
+	p1, p2 := MannWhitneyU(lo, hi), MannWhitneyU(hi, lo)
+	if math.Abs(p1-p2) > 1e-12 {
+		t.Errorf("p not symmetric: %v vs %v", p1, p2)
+	}
+	// Heavily overlapping samples: p must be large.
+	a := []float64{10, 11, 12, 13, 14}
+	b := []float64{10.5, 11.5, 12, 12.5, 13.5}
+	if p := MannWhitneyU(a, b); p < 0.2 {
+		t.Errorf("overlapping samples: p = %v, want >= 0.2", p)
+	}
+	// Degenerate inputs.
+	if p := MannWhitneyU(nil, hi); p != 1 {
+		t.Errorf("empty side: p = %v, want 1", p)
+	}
+}
+
+// TestMannWhitneyCatchesShiftSingleRunMisses is the motivating case for
+// the gate upgrade: a real ~10% regression below the old 20% single-run
+// threshold is detected, while a single outlier in otherwise identical
+// samples is not flagged.
+func TestMannWhitneyCatchesShiftSingleRunMisses(t *testing.T) {
+	base := []float64{100, 101, 99, 100, 102, 98}
+	regressed := []float64{110, 111, 109, 110, 112, 108} // +10% — under the old 20% bar
+	if p := MannWhitneyU(base, regressed); p >= 0.05 {
+		t.Errorf("10%% shift: p = %v, want < 0.05", p)
+	}
+	noisy := []float64{100, 101, 99, 100, 102, 130} // one 30% outlier
+	if p := MannWhitneyU(base, noisy); p < 0.05 {
+		t.Errorf("single outlier: p = %v, want >= 0.05 (not significant)", p)
+	}
+}
+
+func makeSet(name, metric string, vals ...float64) *Set {
+	s := &Set{}
+	for _, v := range vals {
+		s.Add(Sample{Name: name, Iters: 1, Metrics: map[string]float64{metric: v}})
+	}
+	return s
+}
+
+func TestCompareAndRegressed(t *testing.T) {
+	oldS := makeSet("BenchmarkX", "ns/op", 100, 101, 99, 100, 102)
+	newS := makeSet("BenchmarkX", "ns/op", 150, 151, 149, 150, 152)
+	ds := Compare(oldS, newS, "ns/op", 0.05)
+	if len(ds) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(ds))
+	}
+	d := ds[0]
+	if !d.Sig || !d.Regressed(20) {
+		t.Errorf("+50%% significant shift not flagged: %+v", d)
+	}
+	if d.Regressed(60) {
+		t.Error("+50%% shift flagged despite 60% growth allowance")
+	}
+
+	// An improvement is significant but never a regression.
+	faster := makeSet("BenchmarkX", "ns/op", 50, 51, 49, 50, 52)
+	d = Compare(oldS, faster, "ns/op", 0.05)[0]
+	if !d.Sig || d.Regressed(20) {
+		t.Errorf("improvement misclassified: %+v", d)
+	}
+
+	// A disappeared benchmark always fails the gate.
+	gone := makeSet("BenchmarkOther", "ns/op", 1, 2, 3)
+	found := false
+	for _, d := range Compare(oldS, gone, "ns/op", 0.05) {
+		if d.Name == "BenchmarkX" {
+			found = true
+			if !d.OldOnly || !d.Regressed(20) {
+				t.Errorf("missing benchmark not flagged: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Error("baseline-only benchmark absent from Compare output")
+	}
+
+	// Zero baseline growing to nonzero (e.g. allocs/op 0 -> 3).
+	zeroOld := makeSet("BenchmarkX", "allocs/op", 0, 0, 0, 0, 0)
+	zeroNew := makeSet("BenchmarkX", "allocs/op", 3, 3, 3, 3, 3)
+	d = Compare(zeroOld, zeroNew, "allocs/op", 0.05)[0]
+	if !math.IsInf(d.Pct, 1) || !d.Regressed(20) {
+		t.Errorf("0 -> nonzero not flagged: %+v", d)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	oldS := makeSet("BenchmarkX", "ns/op", 100, 101, 99, 100, 102)
+	newS := makeSet("BenchmarkX", "ns/op", 150, 151, 149, 150, 152)
+	var sb strings.Builder
+	FormatTable(&sb, Compare(oldS, newS, "ns/op", 0.05), "ns/op", 0.05, 20)
+	out := sb.String()
+	for _, want := range []string{"BenchmarkX", "REGRESSION", "n=5", "+49.8%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -208,6 +208,7 @@ func (e *Env) allocSlot(t float64) int32 {
 func (e *Env) releaseSlot(idx int32) {
 	s := &e.slots[idx]
 	s.fn, s.proc, s.proc2, s.flow = nil, nil, nil, nil
+	s.fnArg, s.arg = nil, nil
 	s.dead = false
 	s.pos = posDetached
 	e.freeSlots = append(e.freeSlots, idx)
@@ -218,6 +219,16 @@ func (e *Env) schedule(t float64, fn func()) Event {
 	idx := e.allocSlot(t)
 	s := &e.slots[idx]
 	s.kind, s.fn = evFn, fn
+	return Event{env: e, idx: idx, gen: s.gen}
+}
+
+// scheduleArg inserts a static-callback event at absolute time t. The
+// callback function value must not capture state — everything it needs
+// travels in arg — so the hot path allocates no closure.
+func (e *Env) scheduleArg(t float64, fn func(any), arg any) Event {
+	idx := e.allocSlot(t)
+	s := &e.slots[idx]
+	s.kind, s.fnArg, s.arg = evFnArg, fn, arg
 	return Event{env: e, idx: idx, gen: s.gen}
 }
 
@@ -269,6 +280,18 @@ func (e *Env) At(t float64, fn func()) Event { return e.schedule(t, fn) }
 
 // After schedules fn to run d seconds after the current time.
 func (e *Env) After(d float64, fn func()) Event { return e.schedule(e.now+d, fn) }
+
+// AtArg schedules fn(arg) to run at absolute virtual time t. Unlike At,
+// the callback carries its state in arg, so callers passing a top-level
+// function allocate nothing — the closure-free variant for hot paths
+// (MPI protocol events fire once per message).
+func (e *Env) AtArg(t float64, fn func(any), arg any) Event { return e.scheduleArg(t, fn, arg) }
+
+// AfterArg schedules fn(arg) to run d seconds after the current time; see
+// AtArg for the allocation contract.
+func (e *Env) AfterArg(d float64, fn func(any), arg any) Event {
+	return e.scheduleArg(e.now+d, fn, arg)
+}
 
 // Proc is a simulation process: a goroutine whose execution is interleaved
 // with other processes in virtual time. Process methods that block (Wait,
@@ -494,12 +517,15 @@ func (e *Env) dispatch(idx int32) {
 	s := &e.slots[idx]
 	kind := s.kind
 	fn := s.fn
+	fnArg, arg := s.fnArg, s.arg
 	p, p2, flow := s.proc, s.proc2, s.flow
 	s.gen += 2 // fired: handles go stale with even parity (not cancelled)
 	e.releaseSlot(idx)
 	switch kind {
 	case evFn:
 		fn()
+	case evFnArg:
+		fnArg(arg)
 	case evStart:
 		e.startProc(p)
 	case evResume:

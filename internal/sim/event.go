@@ -50,6 +50,9 @@ const (
 	evWakePair
 	// evFlow completes a PSResource flow.
 	evFlow
+	// evFnArg runs a static callback with a stored argument (Env.AtArg /
+	// Env.AfterArg) — the closure-free variant of evFn for hot paths.
+	evFnArg
 )
 
 // eventSlot is the in-queue representation of one event. Slots live in
@@ -63,6 +66,8 @@ type eventSlot struct {
 	time  float64
 	seq   uint64
 	fn    func()
+	fnArg func(any) // evFnArg: static callback taking arg, so no closure is built
+	arg   any
 	proc  *Proc
 	proc2 *Proc
 	flow  *Flow

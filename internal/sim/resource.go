@@ -42,6 +42,8 @@ type Flow struct {
 	proc      *Proc
 	completed bool
 	done      func()
+	doneArg   func(any) // closure-free completion callback (StartFlowArg)
+	arg       any
 	ev        Event
 }
 
@@ -56,6 +58,26 @@ func NewPSResource(env *Env, name string, capacity, flowCap float64) *PSResource
 		env: env, Name: name, Capacity: capacity, FlowCap: flowCap,
 		parkTransfer: "transfer on " + name,
 		parkAwait:    "await flow on " + name,
+	}
+}
+
+// Reinit repoints a pooled resource at a new environment and parameters,
+// keeping its allocated flow-list capacity and — when the name is
+// unchanged — its precomputed park-reason strings. It is the zero-cost
+// counterpart of NewPSResource for job-state pools that recycle whole
+// machine/network instances across simulation runs.
+func (r *PSResource) Reinit(env *Env, name string, capacity, flowCap float64) {
+	if capacity <= 0 || math.IsNaN(capacity) {
+		panic(fmt.Sprintf("sim: PSResource %q with non-positive capacity %v", name, capacity))
+	}
+	r.env = env
+	r.Capacity, r.FlowCap = capacity, flowCap
+	r.flows = r.flows[:0]
+	r.lastUpdate = 0
+	if r.Name != name {
+		r.Name = name
+		r.parkTransfer = "transfer on " + name
+		r.parkAwait = "await flow on " + name
 	}
 }
 
@@ -114,6 +136,27 @@ func (r *PSResource) StartFlow(amount float64, done func()) *Flow {
 		return f
 	}
 	return r.startFlow(amount, nil, done)
+}
+
+// StartFlowArg is the closure-free variant of StartFlow: fn(arg) fires on
+// completion, with fn expected to be a top-level function so the call
+// allocates nothing beyond the flow itself (which comes from the
+// environment's bump arena).
+func (r *PSResource) StartFlowArg(amount float64, fn func(any), arg any) *Flow {
+	if amount <= 0 {
+		f := r.env.allocFlow()
+		f.res, f.completed = r, true
+		if fn != nil {
+			r.env.AfterArg(0, fn, arg)
+		}
+		return f
+	}
+	r.advance()
+	f := r.env.allocFlow()
+	f.res, f.remaining, f.doneArg, f.arg = r, amount, fn, arg
+	r.flows = append(r.flows, f)
+	r.reschedule()
+	return f
 }
 
 func (r *PSResource) startFlow(amount float64, p *Proc, done func()) *Flow {
@@ -213,6 +256,9 @@ func (r *PSResource) complete(f *Flow) {
 	}
 	if f.done != nil {
 		f.done()
+	}
+	if f.doneArg != nil {
+		f.doneArg(f.arg)
 	}
 }
 

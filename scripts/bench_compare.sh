@@ -1,135 +1,100 @@
 #!/usr/bin/env bash
-# bench_compare.sh — benchmark regression gate for the simulator hot path.
+# bench_compare.sh — statistical benchmark regression gate for the
+# simulator hot path.
 #
-# Records the sim/mpi microbenchmarks as a flat JSON file and compares a
-# fresh run against the checked-in baseline, failing on throughput
-# regressions beyond the tolerance. CI runs `compare` on every push;
-# refresh BENCH_baseline.json with `record` after intentional changes.
+# Benchmarks are recorded as standard Go benchmark output (benchfmt:
+# exactly what `go test -bench -count N` prints), N samples per
+# benchmark, and compared with cmd/benchgate: a Mann-Whitney U test over
+# the samples per benchmark (the benchstat methodology), failing only on
+# shifts that are both statistically significant and beyond the growth
+# allowance. This replaces the single-run 20% threshold from PR 3, which
+# became noise-limited once the remaining deltas got small.
 #
 # Usage:
-#   scripts/bench_compare.sh record  [out.json]       # default BENCH_baseline.json
-#   scripts/bench_compare.sh compare [baseline.json]  # default BENCH_baseline.json
-#   scripts/bench_compare.sh fig5    [out.json]       # headline macro benchmark -> BENCH_pr3.json
+#   scripts/bench_compare.sh record  [out.bench]       # default bench/baseline.bench
+#   scripts/bench_compare.sh compare [baseline.bench]  # gate fresh samples against a baseline
+#   scripts/bench_compare.sh fig5    [out.bench]       # headline macro benchmark samples
+#   scripts/bench_compare.sh json    <in.bench> [out]  # benchfmt -> flat JSON means (stdout default)
 #
 # Environment:
-#   BENCH_TOLERANCE_PCT  allowed metric growth before compare fails (default 20)
-#   BENCH_COUNT          repetitions per benchmark; the minimum is kept (default 3)
-#   BENCH_TIME           -benchtime passed to go test (default 200x)
-#   BENCH_METRIC         ns_op (default) or allocs_op. Timings are only
+#   BENCH_COUNT          samples per benchmark (default 6; the gate wants >= 5)
+#   BENCH_TIME           -benchtime per sample (default 200x)
+#   BENCH_METRIC         ns/op (default) or allocs/op. Timings are only
 #                        comparable on the machine that recorded the
 #                        baseline — CI records its own baseline from the
-#                        parent commit on the same runner. allocs_op is
-#                        hardware-independent and suits cross-machine
-#                        comparison against the checked-in baseline.
+#                        parent commit on the same runner. allocs/op is
+#                        deterministic and suits cross-machine comparison
+#                        against the checked-in bench/baseline.bench.
+#   BENCH_ALPHA          significance level (default 0.05)
+#   BENCH_MAX_GROWTH_PCT allowed metric growth before a significant shift
+#                        fails the gate (default 10)
+#   BENCH_MIN_COUNT      required samples per side (default 5; 0 disables)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-compare}"
-TOL="${BENCH_TOLERANCE_PCT:-20}"
-COUNT="${BENCH_COUNT:-3}"
+COUNT="${BENCH_COUNT:-6}"
 BENCHTIME="${BENCH_TIME:-200x}"
-METRIC="${BENCH_METRIC:-ns_op}"
+METRIC="${BENCH_METRIC:-ns/op}"
+ALPHA="${BENCH_ALPHA:-0.05}"
+MAX_GROWTH="${BENCH_MAX_GROWTH_PCT:-10}"
+MIN_COUNT="${BENCH_MIN_COUNT:-5}"
 MICRO_PKGS="./internal/sim ./internal/mpi"
 
+# Accept the legacy metric spellings the PR 3 gate used.
+case "$METRIC" in
+ns_op) METRIC="ns/op" ;;
+allocs_op) METRIC="allocs/op" ;;
+esac
+
 # run_benches <packages> <bench regex> <benchtime> <count>
-# Emits flat JSON: one line per benchmark, minimum ns/op (and its
-# B/op / allocs/op) across repetitions.
+# Emits raw benchfmt on stdout; non-result lines (goos/pkg headers,
+# PASS) ride along harmlessly — the parser skips them.
 run_benches() {
     local pkgs="$1" regex="$2" benchtime="$3" count="$4"
     # shellcheck disable=SC2086
-    go test -run '^$' -bench "$regex" -benchtime "$benchtime" -count "$count" -benchmem $pkgs |
-        awk '
-            $1 ~ /^Benchmark/ && $4 == "ns/op" {
-                name = $1
-                sub(/-[0-9]+$/, "", name)      # strip -cpus suffix
-                ns = $3 + 0
-                if (!(name in best) || ns < best[name]) {
-                    best[name] = ns
-                    bytes[name] = $5 + 0
-                    allocs[name] = $7 + 0
-                }
-                if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
-            }
-            END {
-                if (n == 0) { print "bench_compare: no benchmark output parsed" > "/dev/stderr"; exit 1 }
-                print "{"
-                for (i = 1; i <= n; i++) {
-                    name = order[i]
-                    printf "  \"%s\": {\"ns_op\": %.1f, \"bytes_op\": %d, \"allocs_op\": %d}%s\n", \
-                        name, best[name], bytes[name], allocs[name], (i < n ? "," : "")
-                }
-                print "}"
-            }'
+    go test -run '^$' -bench "$regex" -benchtime "$benchtime" -count "$count" -benchmem $pkgs
+}
+
+count_benches() {
+    grep -c '^Benchmark' "$1" || true
 }
 
 case "$MODE" in
 record)
-    OUT="${2:-BENCH_baseline.json}"
+    OUT="${2:-bench/baseline.bench}"
+    mkdir -p "$(dirname "$OUT")"
     run_benches "$MICRO_PKGS" . "$BENCHTIME" "$COUNT" > "$OUT"
-    echo "bench_compare: recorded $(grep -c ns_op "$OUT") benchmarks to $OUT"
+    echo "bench_compare: recorded $(count_benches "$OUT") samples ($COUNT per benchmark) to $OUT"
     ;;
 fig5)
-    OUT="${2:-BENCH_pr3.json}"
-    run_benches "." 'BenchmarkFig5MultiNode' 1x 1 > "$OUT"
-    echo "bench_compare: recorded headline macro benchmark to $OUT"
+    OUT="${2:-bench/fig5.bench}"
+    mkdir -p "$(dirname "$OUT")"
+    # The macro benchmark regenerates all of Fig. 5 per iteration, so one
+    # iteration per sample and fewer samples keep the runtime sane.
+    run_benches "." 'BenchmarkFig5MultiNode' 1x "${BENCH_COUNT:-5}" > "$OUT"
+    echo "bench_compare: recorded $(count_benches "$OUT") headline macro samples to $OUT"
+    ;;
+json)
+    IN="${2:?usage: $0 json <in.bench> [out.json]}"
+    if [ $# -ge 3 ]; then
+        go run ./cmd/benchgate -summarize "$IN" > "$3"
+        echo "bench_compare: summarized $IN to $3"
+    else
+        go run ./cmd/benchgate -summarize "$IN"
+    fi
     ;;
 compare)
-    BASE="${2:-BENCH_baseline.json}"
+    BASE="${2:-bench/baseline.bench}"
     [ -f "$BASE" ] || { echo "bench_compare: missing baseline $BASE (run: $0 record)"; exit 1; }
     CUR="$(mktemp)"
     trap 'rm -f "$CUR"' EXIT
     run_benches "$MICRO_PKGS" . "$BENCHTIME" "$COUNT" > "$CUR"
-    awk -v tol="$TOL" -v metric="$METRIC" '
-        # Flat one-entry-per-line JSON: "Name": {"ns_op": N, ...}
-        function parse(line, arr,    name, pat, off) {
-            if (match(line, /"Benchmark[^"]*"/) == 0) return ""
-            name = substr(line, RSTART + 1, RLENGTH - 2)
-            pat = "\"" metric "\": [0-9.]+"
-            off = length(metric) + 4
-            if (match(line, pat) == 0) return ""
-            arr[name] = substr(line, RSTART + off, RLENGTH - off) + 0
-            return name
-        }
-        NR == FNR { parse($0, base); next }
-        { n = parse($0, cur); if (n != "") { order[++cnt] = n } }
-        END {
-            status = 0
-            printf "%-32s %14s %14s %9s   (metric: %s)\n", "benchmark", "baseline", "current", "delta", metric
-            for (i = 1; i <= cnt; i++) {
-                name = order[i]
-                if (!(name in base)) {
-                    printf "%-32s %14s %14.1f %9s\n", name, "-", cur[name], "new"
-                    continue
-                }
-                if (base[name] == 0) {
-                    # Zero baselines (e.g. allocs_op 0) cannot grow by a
-                    # percentage: any nonzero current value is a regression.
-                    flag = (cur[name] > 0) ? "  << REGRESSION" : ""
-                    if (flag != "") status = 1
-                    printf "%-32s %14.1f %14.1f %9s%s\n", name, base[name], cur[name], "-", flag
-                    delete base[name]
-                    continue
-                }
-                delta = 100 * (cur[name] - base[name]) / base[name]
-                flag = ""
-                if (delta > tol) { flag = "  << REGRESSION"; status = 1 }
-                printf "%-32s %14.1f %14.1f %+8.1f%%%s\n", name, base[name], cur[name], delta, flag
-                delete base[name]
-            }
-            for (name in base) {
-                printf "%-32s %14.1f %14s %9s  << MISSING\n", name, base[name], "-", "-"
-                status = 1
-            }
-            if (status) {
-                printf "bench_compare: FAIL — throughput regressed beyond %s%% (or benchmarks disappeared)\n", tol
-            } else {
-                printf "bench_compare: OK (tolerance %s%%)\n", tol
-            }
-            exit status
-        }' "$BASE" "$CUR"
+    go run ./cmd/benchgate -old "$BASE" -new "$CUR" \
+        -metric "$METRIC" -alpha "$ALPHA" -max-growth "$MAX_GROWTH" -min-count "$MIN_COUNT"
     ;;
 *)
-    echo "usage: $0 {record|compare|fig5} [file.json]" >&2
+    echo "usage: $0 {record|compare|fig5|json} [file]" >&2
     exit 2
     ;;
 esac
