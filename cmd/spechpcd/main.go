@@ -35,6 +35,7 @@ import (
 
 	"github.com/spechpc/spechpc-sim/internal/campaign"
 	"github.com/spechpc/spechpc-sim/internal/service"
+	"github.com/spechpc/spechpc-sim/internal/surrogate"
 )
 
 func main() {
@@ -45,17 +46,41 @@ func main() {
 	clusters := flag.String("clusters", "", "comma-separated default clusters for scenario sweeps (default: the paper's two)")
 	artifactDir := flag.String("artifacts", "", "scenario CSV artifact root (empty = per-run temp directories)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight HTTP requests")
+	surro := flag.Bool("surrogate", false, "serve mode=fast queries from analytic surrogate models fitted over cached results")
+	maxBound := flag.Float64("surrogate-max-bound", surrogate.DefaultMaxBound, "surrogate accuracy tolerance: queries whose error bound exceeds it simulate exactly")
 	flag.Parse()
 
+	var dirStore *campaign.DirStore
 	var store campaign.Store
 	if *cacheDir != "" {
 		ds, err := campaign.NewDirStore(*cacheDir)
 		if err != nil {
 			fatal(err)
 		}
-		store = ds
+		dirStore, store = ds, ds
 	}
 	sched := campaign.NewScheduler(*parallel, store)
+
+	// With -surrogate, warm-start the fast tier from every result already
+	// persisted, then keep learning: the scheduler feeds each fresh exact
+	// simulation back into the index (campaign.Observer).
+	var idx *surrogate.Index
+	if *surro {
+		idx = surrogate.NewIndex()
+		idx.MaxBound = *maxBound
+		if dirStore != nil {
+			n, err := idx.FitStore(dirStore)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spechpcd: surrogate warm-start:", err)
+			}
+			if _, err := idx.Load(dirStore.ModelsDir()); err != nil {
+				fmt.Fprintln(os.Stderr, "spechpcd: surrogate model load:", err)
+			}
+			fitted, families := idx.Models()
+			fmt.Printf("spechpcd: surrogate warm-start: %d cached results, %d/%d families fitted\n",
+				n, fitted, families)
+		}
+	}
 
 	var clusterList []string
 	if *clusters != "" {
@@ -69,6 +94,7 @@ func main() {
 		Quick:           *quick,
 		DefaultClusters: clusterList,
 		ArtifactDir:     *artifactDir,
+		Surrogate:       idx,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -103,6 +129,15 @@ func main() {
 	}
 	svc.Close()
 	sched.Close() // drops queued jobs, waits for running simulations
+	if idx != nil && dirStore != nil {
+		// Persist the fitted models (own "m1-" prefix, models/ subdir) so
+		// the next boot skips refitting; raw results stay authoritative.
+		if n, err := idx.Save(dirStore.ModelsDir()); err != nil {
+			fmt.Fprintln(os.Stderr, "spechpcd: surrogate model save:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "spechpcd: saved %d surrogate models\n", n)
+		}
+	}
 	fmt.Fprintln(os.Stderr, sched.Stats())
 }
 

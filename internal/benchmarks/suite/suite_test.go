@@ -1,0 +1,140 @@
+package suite_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+)
+
+// TestSuiteRegistersAllNineKernels pins the registry against the
+// paper's Table 1: nine kernels, distinct SPEC ids, complete metadata.
+func TestSuiteRegistersAllNineKernels(t *testing.T) {
+	all := bench.All()
+	if len(all) != 9 {
+		t.Fatalf("registry holds %d kernels, want 9", len(all))
+	}
+	seen := map[int]string{}
+	for _, b := range all {
+		if b.ID <= 0 {
+			t.Errorf("%s: non-positive SPEC id %d", b.Name, b.ID)
+		}
+		if prev, dup := seen[b.ID]; dup {
+			t.Errorf("%s and %s share SPEC id %d", prev, b.Name, b.ID)
+		}
+		seen[b.ID] = b.Name
+		if b.Language == "" || b.Numerics == "" || b.Domain == "" || b.Collective == "" {
+			t.Errorf("%s: incomplete Table 1/2 metadata: %+v", b.Name, b)
+		}
+		if b.LOC <= 0 || b.VectorPct <= 0 {
+			t.Errorf("%s: non-positive LOC/VectorPct (%d, %g)", b.Name, b.LOC, b.VectorPct)
+		}
+	}
+}
+
+// TestKernelInvariants runs every kernel once per class point and
+// checks the physical invariants any simulated result must satisfy:
+// positive work and traffic, communication time once more than one rank
+// talks, phase sums consistent with the critical-path wall clock, a
+// passing validation report, and per-rank trace sums for every rank.
+func TestKernelInvariants(t *testing.T) {
+	cs := machine.MustGet("ClusterA")
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := spec.Run(spec.RunSpec{
+				Benchmark: b.Name,
+				Class:     bench.Tiny,
+				Cluster:   cs,
+				Ranks:     4,
+				Options:   bench.Options{SimSteps: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := res.Usage
+			if u.Wall <= 0 {
+				t.Fatalf("non-positive wall clock %g", u.Wall)
+			}
+			if u.Flops() <= 0 {
+				t.Errorf("no modeled flops (scalar=%g simd=%g)", u.FlopsScalar, u.FlopsSIMD)
+			}
+			if u.BytesMem <= 0 || u.BytesL2 <= 0 || u.BytesL3 <= 0 {
+				t.Errorf("memory hierarchy traffic not positive: mem=%g l2=%g l3=%g",
+					u.BytesMem, u.BytesL2, u.BytesL3)
+			}
+			if u.TimeExec <= 0 {
+				t.Errorf("no execution time attributed (%g)", u.TimeExec)
+			}
+			if u.TimeMPI <= 0 {
+				t.Errorf("4 ranks exchanged no MPI time (%g)", u.TimeMPI)
+			}
+			if u.TimeStall < 0 {
+				t.Errorf("negative stall time %g", u.TimeStall)
+			}
+			// Phase times are rank-summed; no rank can run past the
+			// critical path, so the sum is bounded by ranks x wall.
+			phaseSum := u.TimeExec + u.TimeStall + u.TimeMPI
+			if limit := u.Wall * float64(u.Ranks) * 1.0001; phaseSum > limit {
+				t.Errorf("phase sum %g exceeds ranks x wall = %g", phaseSum, limit)
+			}
+			if u.ChipEnergy <= 0 || u.DRAMEnergy <= 0 {
+				t.Errorf("energy not positive: chip=%g dram=%g", u.ChipEnergy, u.DRAMEnergy)
+			}
+			if res.Report.StepsSimulated <= 0 || res.Report.StepsModeled < res.Report.StepsSimulated {
+				t.Errorf("step accounting inverted: %+v", res.Report)
+			}
+			if len(res.Report.Checks) == 0 {
+				t.Error("kernel reported no validation checks")
+			}
+			if !res.Report.Valid() {
+				t.Errorf("validation checks failed: %+v", res.Report.Checks)
+			}
+			if res.Trace == nil {
+				t.Fatal("run carries no trace recorder")
+			}
+			if sums := res.Trace.Sums(); len(sums) != 4 {
+				t.Errorf("trace has %d rank rows, want 4", len(sums))
+			}
+		})
+	}
+}
+
+// TestKernelDeterminism runs every kernel twice with identical specs
+// and requires bit-identical Usage — the property the campaign store,
+// the memo, and the surrogate's first-write-wins sample dedup all rely
+// on.
+func TestKernelDeterminism(t *testing.T) {
+	cs := machine.MustGet("ClusterB")
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rs := spec.RunSpec{
+				Benchmark: name,
+				Class:     bench.Tiny,
+				Cluster:   cs,
+				Ranks:     3,
+				Options:   bench.Options{SimSteps: 1},
+			}
+			first, err := spec.Run(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := spec.Run(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first.Usage, second.Usage) {
+				t.Errorf("two identical runs disagree:\n%+v\nvs\n%+v", first.Usage, second.Usage)
+			}
+			if !reflect.DeepEqual(first.Trace.Sums(), second.Trace.Sums()) {
+				t.Error("two identical runs produced different trace sums")
+			}
+		})
+	}
+}

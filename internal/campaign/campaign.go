@@ -51,15 +51,23 @@ type Outcome struct {
 // store read/write errors (each such job falls back to a fresh
 // simulation, so faults never lose results). Cancelled counts queued
 // jobs dropped before starting (submitters all cancelled, or scheduler
-// shutdown).
+// shutdown). The Surrogate* counters cover Fast-mode submissions (see
+// SubmitMode): SurrogateHits are queries answered analytically without
+// simulating, SurrogateMisses fell back because no fitted model covered
+// the job's family, and SurrogateRefused fell back because the model
+// declined the query (extrapolation outside the fitted hull, or an
+// error bound too loose to trust).
 type Stats struct {
-	Jobs        int
-	Hits        int
-	Coalesced   int
-	Misses      int
-	StoreHits   int
-	StoreFaults int
-	Cancelled   int
+	Jobs             int
+	Hits             int
+	Coalesced        int
+	Misses           int
+	StoreHits        int
+	StoreFaults      int
+	Cancelled        int
+	SurrogateHits    int
+	SurrogateMisses  int
+	SurrogateRefused int
 }
 
 // String renders the counters in the stable one-line form the CLIs print
@@ -68,8 +76,13 @@ type Stats struct {
 // parse them to assert a warm store serves a repeated run with
 // fresh-sims=0.
 func (s Stats) String() string {
-	return fmt.Sprintf("campaign: jobs=%d memo-hits=%d coalesced=%d store-hits=%d fresh-sims=%d store-faults=%d cancelled=%d",
+	line := fmt.Sprintf("campaign: jobs=%d memo-hits=%d coalesced=%d store-hits=%d fresh-sims=%d store-faults=%d cancelled=%d",
 		s.Jobs, s.Hits, s.Coalesced, s.StoreHits, s.Misses, s.StoreFaults, s.Cancelled)
+	if s.SurrogateHits > 0 || s.SurrogateMisses > 0 || s.SurrogateRefused > 0 {
+		line += fmt.Sprintf(" surrogate-hits=%d surrogate-misses=%d surrogate-refused=%d",
+			s.SurrogateHits, s.SurrogateMisses, s.SurrogateRefused)
+	}
+	return line
 }
 
 // Engine is the synchronous batch view of a Scheduler. The zero value is
@@ -78,6 +91,7 @@ func (s Stats) String() string {
 // scheduler's worker pool, memo, and coalescing.
 type Engine struct {
 	sched *Scheduler
+	mode  Mode
 }
 
 // New returns an engine running at most workers simulations at once.
@@ -130,11 +144,28 @@ func (e *Engine) Scheduler() *Scheduler { return e.sched }
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() Stats { return e.sched.Stats() }
 
+// Mode returns the query mode every submission through this engine view
+// uses (Exact unless derived with WithMode).
+func (e *Engine) Mode() Mode { return e.mode }
+
+// WithMode returns a derived view of the same engine — same scheduler,
+// memo, store, and counters — whose submissions carry the given query
+// mode. A Fast view lets whole scenario renders ride the surrogate,
+// while the original Exact view is untouched; because surrogate answers
+// are never memoized, the two views cannot contaminate each other.
+func (e *Engine) WithMode(mode Mode) *Engine {
+	if mode == e.mode {
+		return e
+	}
+	return &Engine{sched: e.sched, mode: mode}
+}
+
 // Submit enqueues one job on the underlying scheduler without blocking —
 // the asynchronous escape hatch for callers (the scenario planner, the
-// HTTP service) that want results to stream in as they land.
+// HTTP service) that want results to stream in as they land. The
+// engine's mode applies (see WithMode).
 func (e *Engine) Submit(ctx context.Context, rs spec.RunSpec) *Ticket {
-	return e.sched.Submit(ctx, rs)
+	return e.sched.SubmitMode(ctx, rs, 0, e.mode)
 }
 
 // Run executes a campaign and returns one Outcome per job, in input
@@ -155,7 +186,7 @@ func (e *Engine) Run(jobs []spec.RunSpec) []Outcome {
 func (e *Engine) RunCtx(ctx context.Context, jobs []spec.RunSpec) []Outcome {
 	tickets := make([]*Ticket, len(jobs))
 	for i, rs := range jobs {
-		tickets[i] = e.sched.Submit(ctx, rs)
+		tickets[i] = e.Submit(ctx, rs)
 	}
 	out := make([]Outcome, len(jobs))
 	for i, t := range tickets {

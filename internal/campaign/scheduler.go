@@ -20,6 +20,70 @@ var (
 	ErrClosed    = errors.New("campaign: scheduler closed")
 )
 
+// Predictor errors: a Predict call that cannot answer returns an error
+// wrapping one of these, so the scheduler can count why a fast-mode
+// submission fell back to the simulator. ErrNoModel means no model is
+// fitted for the job's family (benchmark x cluster x class x options);
+// ErrRefused means a model exists but declined — the query extrapolates
+// outside the fitted hull or the model's self-reported error bound
+// exceeds its tolerance.
+var (
+	ErrNoModel = errors.New("campaign: no surrogate model for job family")
+	ErrRefused = errors.New("campaign: surrogate refused the query")
+)
+
+// Mode selects how a submission may be answered. Exact always resolves
+// through the discrete-event engine (memo, store, or fresh simulation);
+// Fast may be answered instantly by an attached analytic surrogate
+// within its self-reported error bound, falling back to the exact path
+// whenever the surrogate has no model, the query extrapolates outside
+// the fitted hull, or the bound is too loose.
+type Mode int
+
+// Submission modes.
+const (
+	Exact Mode = iota
+	Fast
+)
+
+// String renders the mode in the wire form the service accepts.
+func (m Mode) String() string {
+	switch m {
+	case Exact:
+		return "exact"
+	case Fast:
+		return "fast"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Predicted is a surrogate answer to one job: a synthesized result plus
+// the model's self-reported relative error bound on its wall/energy/EDP
+// predictions.
+type Predicted struct {
+	Result spec.RunResult
+	// Bound is the relative error bound (0.02 = +-2%) the model claims
+	// for the prediction; internal/surrogate/validate asserts it covers
+	// held-out points.
+	Bound float64
+}
+
+// Predictor is the analytic fast-path hook the scheduler consults before
+// queueing a Fast-mode simulation (internal/surrogate implements it). A
+// failed Predict must wrap ErrNoModel or ErrRefused; implementations
+// must be safe for concurrent use.
+type Predictor interface {
+	Predict(rs spec.RunSpec) (Predicted, error)
+}
+
+// Observer is the feedback half of a predictor: the scheduler reports
+// every exact result it resolves (fresh simulations and store hits
+// alike), so fallback simulations continuously refine the model.
+type Observer interface {
+	Observe(res spec.RunResult)
+}
+
 // JobState is the lifecycle position of a scheduled job.
 type JobState int
 
@@ -69,6 +133,13 @@ type schedJob struct {
 	// job whose refs drop to zero is removed and resolved as Cancelled.
 	refs  int
 	state JobState
+
+	// surrogate marks a job answered by the analytic fast path instead of
+	// the engine; bound is the model's self-reported relative error bound.
+	// Surrogate jobs resolve at submission and never enter the memo, so an
+	// exact query for the same identity still simulates.
+	surrogate bool
+	bound     float64
 
 	done chan struct{}
 	res  spec.RunResult
@@ -120,6 +191,12 @@ func (q *jobQueue) Pop() any {
 type Scheduler struct {
 	workers int
 	store   Store
+
+	// predictor/observer form the analytic fast path (SetPredictor):
+	// consulted on Fast submissions, fed every exact result. Set before
+	// serving traffic; read without further synchronization.
+	predictor Predictor
+	observer  Observer
 
 	mu      sync.Mutex
 	cache   map[string]*schedJob // every key ever submitted (minus cancelled/evicted)
@@ -193,6 +270,17 @@ func (s *Scheduler) noteDoneLocked(j *schedJob) {
 	}
 }
 
+// SetPredictor attaches the analytic surrogate consulted on Fast-mode
+// submissions. When p also implements Observer, every exact result the
+// scheduler resolves is fed back so fallback simulations refine the
+// model. Call once, before submitting work.
+func (s *Scheduler) SetPredictor(p Predictor) {
+	s.predictor = p
+	if o, ok := p.(Observer); ok {
+		s.observer = o
+	}
+}
+
 // Workers returns the worker-pool cap.
 func (s *Scheduler) Workers() int { return s.workers }
 
@@ -223,6 +311,51 @@ func (s *Scheduler) Active() int {
 // Submit enqueues one job at default priority. See SubmitPriority.
 func (s *Scheduler) Submit(ctx context.Context, rs spec.RunSpec) *Ticket {
 	return s.SubmitPriority(ctx, rs, 0)
+}
+
+// SubmitMode submits one job under a query mode. Exact is exactly
+// SubmitPriority. Fast consults the attached predictor first: a usable
+// model answers in microseconds with a ticket that is already Done
+// (carrying the prediction and its error bound, see Ticket.Surrogate),
+// while a missing model, an extrapolating query, or a too-loose bound
+// falls back to the exact path — queueing a simulation whose result,
+// once resolved, feeds back into the model. An exact result already
+// memoized beats the surrogate: fast mode never degrades a free exact
+// answer to an approximation.
+func (s *Scheduler) SubmitMode(ctx context.Context, rs spec.RunSpec, pri int, mode Mode) *Ticket {
+	// KeepTrace jobs need the full event timeline, which no analytic
+	// model can synthesize.
+	if mode != Fast || s.predictor == nil || rs.KeepTrace {
+		return s.SubmitPriority(ctx, rs, pri)
+	}
+	key := Key(rs)
+	s.mu.Lock()
+	j, ok := s.cache[key]
+	exact := ok && j.state == Done && j.err == nil
+	closed := s.closed
+	s.mu.Unlock()
+	if exact || closed {
+		return s.SubmitPriority(ctx, rs, pri)
+	}
+	pred, err := s.predictor.Predict(rs)
+	if err != nil {
+		s.count(func(st *Stats) {
+			if errors.Is(err, ErrNoModel) {
+				st.SurrogateMisses++
+			} else {
+				st.SurrogateRefused++
+			}
+		})
+		return s.SubmitPriority(ctx, rs, pri)
+	}
+	s.count(func(st *Stats) { st.Jobs++; st.SurrogateHits++ })
+	// The answered job never enters the memo: predictions are cheap to
+	// recompute and must not shadow the exact identity.
+	pj := &schedJob{key: key, rs: rs, index: -1, state: Done,
+		surrogate: true, bound: pred.Bound,
+		done: make(chan struct{}), res: pred.Result}
+	close(pj.done)
+	return &Ticket{s: s, j: pj, rs: rs}
 }
 
 // SubmitPriority enqueues one job and returns its Ticket without
@@ -333,6 +466,7 @@ func (s *Scheduler) execute(key string, rs spec.RunSpec) (spec.RunResult, error)
 		} else if ok {
 			if res, valid := rec.result(); valid {
 				s.count(func(st *Stats) { st.StoreHits++ })
+				s.observe(res)
 				return res, nil
 			}
 		}
@@ -340,11 +474,23 @@ func (s *Scheduler) execute(key string, rs spec.RunSpec) (spec.RunResult, error)
 	s.count(func(st *Stats) { st.Misses++ })
 	res, err := spec.Run(rs)
 	if storable && err == nil {
-		if perr := s.store.Put(key, newRecord(key, res)); perr != nil {
+		if perr := s.store.Put(key, NewRecord(key, res)); perr != nil {
 			s.count(func(st *Stats) { st.StoreFaults++ })
 		}
 	}
+	if err == nil {
+		s.observe(res)
+	}
 	return res, err
+}
+
+// observe feeds one exact result back into the attached surrogate, so
+// every fallback simulation a fast query triggers tightens the model
+// that could not answer it.
+func (s *Scheduler) observe(res spec.RunResult) {
+	if s.observer != nil {
+		s.observer.Observe(res)
+	}
 }
 
 // count applies a stats mutation under the scheduler lock.
@@ -399,6 +545,13 @@ func (t *Ticket) Key() string { return t.j.key }
 
 // Job returns the spec as this submission provided it.
 func (t *Ticket) Job() spec.RunSpec { return t.rs }
+
+// Surrogate reports whether this ticket was answered by the analytic
+// surrogate instead of a simulation, and if so the model's self-reported
+// relative error bound on the prediction.
+func (t *Ticket) Surrogate() (bound float64, ok bool) {
+	return t.j.bound, t.j.surrogate
+}
 
 // State returns the job's current lifecycle position.
 func (t *Ticket) State() JobState {

@@ -42,8 +42,9 @@ type Record struct {
 	TraceSums [][]float64     `json:"trace_sums"`
 }
 
-// newRecord snapshots a successful result for persistence.
-func newRecord(key string, res spec.RunResult) Record {
+// NewRecord snapshots a successful result for persistence — exported so
+// warm-up tooling and tests can seed a store without a scheduler.
+func NewRecord(key string, res spec.RunResult) Record {
 	cluster := ""
 	if res.Spec.Cluster != nil {
 		cluster = res.Spec.Cluster.Name
@@ -183,6 +184,47 @@ func (s *DirStore) Put(key string, rec Record) error {
 	return nil
 }
 
+// ModelsDir returns the directory reserved for fitted surrogate models
+// (see internal/surrogate). It lives inside the store root so one
+// -cache-dir carries both tiers, but is excluded from record Usage and
+// reported distinctly by scripts/cache_stats.sh — model files use an
+// "m1-" prefix, never the record "v1-" prefix, so inspection and
+// pruning tooling can tell the tiers apart.
+func (s *DirStore) ModelsDir() string { return filepath.Join(s.dir, "models") }
+
+// Walk invokes fn for every readable, well-formed record in the store,
+// in unspecified order. Unreadable or corrupt entries are skipped (they
+// degrade to misses at Get time anyway) and fn errors abort the walk.
+// This is the surrogate fitter's bulk-load path — not a hot path.
+func (s *DirStore) Walk(fn func(Record) error) error {
+	return filepath.WalkDir(s.dir, func(path string, d os.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		if d.IsDir() {
+			if path == s.ModelsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".json") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil
+		}
+		if rec.Format != recordFormat {
+			return nil
+		}
+		return fn(rec)
+	})
+}
+
 // Len walks the store and returns the number of persisted records —
 // inspection/testing helper, not on any hot path.
 func (s *DirStore) Len() (int, error) {
@@ -198,7 +240,13 @@ func (s *DirStore) Usage() (records int, bytes int64, err error) {
 		if werr != nil {
 			return werr
 		}
-		if d.IsDir() || !strings.HasSuffix(path, ".json") {
+		if d.IsDir() {
+			if path == s.ModelsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".json") {
 			return nil
 		}
 		info, ierr := d.Info()

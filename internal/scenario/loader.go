@@ -25,6 +25,10 @@ type fileScenario struct {
 	Title  string      `json:"title"`
 	Sweeps []fileSweep `json:"sweeps"`
 	Jobs   []fileJob   `json:"jobs"`
+	// Mode selects the query tier: "exact" (default) or "fast" (serve
+	// from the fitted surrogate when within tolerance, simulate
+	// otherwise).
+	Mode string `json:"mode"`
 }
 
 type fileSweep struct {
@@ -175,6 +179,11 @@ func Parse(data []byte, fallbackName string) (*Scenario, error) {
 	if sc.Name == "" {
 		sc.Name = fallbackName
 	}
+	mode, err := ParseMode(fs.Mode)
+	if err != nil {
+		return nil, err
+	}
+	sc.Mode = mode
 	for i, s := range fs.Sweeps {
 		class, err := parseClass(s.Class)
 		if err != nil {

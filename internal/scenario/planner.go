@@ -39,6 +39,14 @@ func (p *Planner) engine() *campaign.Engine {
 	return p.Engine
 }
 
+// engineFor returns the engine view carrying a scenario's query mode:
+// the shared engine itself for exact studies, a Fast-mode view of the
+// same scheduler for surrogate-eligible ones. Both views share one
+// memo, store, and worker pool.
+func (p *Planner) engineFor(sc *Scenario) *campaign.Engine {
+	return p.engine().WithMode(sc.Mode)
+}
+
 // Clusters resolves a sweep's cluster names through the machine
 // registry, applying the planner default for an empty list.
 func (p *Planner) Clusters(names []string) ([]*machine.ClusterSpec, error) {
@@ -188,7 +196,7 @@ func (p *Planner) Enqueue(ctx context.Context, sc *Scenario) ([]*campaign.Ticket
 	if err != nil {
 		return nil, err
 	}
-	e := p.engine()
+	e := p.engineFor(sc)
 	tickets := make([]*campaign.Ticket, len(jobs))
 	for i, rs := range jobs {
 		tickets[i] = e.Submit(ctx, rs)
@@ -319,9 +327,9 @@ func (p *Planner) renderSweep(ctx context.Context, sc *Scenario, si int, w io.Wr
 			var res []spec.RunResult
 			if len(clocks) > 0 {
 				base.Ranks = points[0]
-				res, err = p.engine().FrequencySweepCtx(ctx, base, clocks)
+				res, err = p.engineFor(sc).FrequencySweepCtx(ctx, base, clocks)
 			} else {
-				res, err = p.engine().SweepCtx(ctx, base, points)
+				res, err = p.engineFor(sc).SweepCtx(ctx, base, points)
 			}
 			if err != nil {
 				return fmt.Errorf("scenario %s: sweep %d: %s on %s: %w",
@@ -377,7 +385,7 @@ func (p *Planner) renderJobs(ctx context.Context, sc *Scenario, w io.Writer, out
 		if err != nil {
 			return err
 		}
-		outs := p.engine().RunCtx(ctx, []spec.RunSpec{{
+		outs := p.engineFor(sc).RunCtx(ctx, []spec.RunSpec{{
 			Benchmark: j.Benchmark,
 			Class:     j.Class,
 			Cluster:   cs,

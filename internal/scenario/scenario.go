@@ -20,8 +20,10 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/campaign"
 	"github.com/spechpc/spechpc-sim/internal/netsim"
 )
 
@@ -198,6 +200,21 @@ func (j *Job) Validate() error {
 	return nil
 }
 
+// ParseMode maps the scenario/service mode names onto campaign query
+// modes: "exact" (or empty, the default) always simulates; "fast" lets
+// in-tolerance surrogate answers skip simulation, falling back to the
+// exact tier on refusal. See docs/SCENARIOS.md.
+func ParseMode(s string) (campaign.Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "exact":
+		return campaign.Exact, nil
+	case "fast":
+		return campaign.Fast, nil
+	default:
+		return campaign.Exact, fmt.Errorf("scenario: unknown mode %q (want exact or fast)", s)
+	}
+}
+
 // Scenario is one declarative study: any number of sweeps plus pinned
 // single jobs.
 type Scenario struct {
@@ -207,6 +224,11 @@ type Scenario struct {
 	Title  string
 	Sweeps []Sweep
 	Jobs   []Job
+	// Mode selects the query tier for every run the scenario requests:
+	// campaign.Exact (zero value) always simulates, campaign.Fast serves
+	// in-tolerance surrogate answers when the planner's engine has a
+	// predictor attached and falls back to exact simulation otherwise.
+	Mode campaign.Mode
 }
 
 // Validate checks the scenario as a whole.
@@ -216,6 +238,9 @@ func (sc *Scenario) Validate() error {
 	}
 	if len(sc.Sweeps) == 0 && len(sc.Jobs) == 0 {
 		return fmt.Errorf("scenario %s: no sweeps and no jobs", sc.Name)
+	}
+	if sc.Mode != campaign.Exact && sc.Mode != campaign.Fast {
+		return fmt.Errorf("scenario %s: unknown mode %d", sc.Name, sc.Mode)
 	}
 	for i := range sc.Sweeps {
 		if err := sc.Sweeps[i].Validate(); err != nil {

@@ -37,6 +37,16 @@ type jobRequest struct {
 	// Priority orders the scheduler queue: higher runs sooner. Interactive
 	// clients can jump ahead of bulk sweeps.
 	Priority int `json:"priority"`
+	// Mode selects the query tier: "exact" (default) always simulates;
+	// "fast" serves an analytic surrogate answer when one is fitted and
+	// within tolerance, falling back to exact simulation otherwise. See
+	// docs/SERVICE.md.
+	Mode string `json:"mode"`
+}
+
+// mode resolves the request's query tier.
+func (jr jobRequest) mode() (campaign.Mode, error) {
+	return scenario.ParseMode(jr.Mode)
 }
 
 // runSpec resolves the request into a RunSpec, validating every field
@@ -83,8 +93,17 @@ type jobStatus struct {
 	Job   jobRequest `json:"job"`
 	// Result is present once the job finished successfully.
 	Result *jobResult `json:"result,omitempty"`
+	// Surrogate is present when the result came from the analytic fast
+	// tier instead of a simulation; Bound is the model's self-reported
+	// relative error bound for this query.
+	Surrogate *jobSurrogate `json:"surrogate,omitempty"`
 	// Error is present once the job failed or was cancelled.
 	Error string `json:"error,omitempty"`
+}
+
+// jobSurrogate marks a surrogate-served result.
+type jobSurrogate struct {
+	Bound float64 `json:"bound"`
 }
 
 // jobResult carries the job's raw Usage record plus every derived
@@ -123,6 +142,9 @@ func (js *jobSub) status(withResult bool) jobStatus {
 	switch {
 	case out.Err == nil:
 		st.State = "done"
+		if bound, ok := js.ticket.Surrogate(); ok {
+			st.Surrogate = &jobSurrogate{Bound: bound}
+		}
 		if withResult {
 			st.Result = resultPayload(out.Result)
 		}
@@ -152,8 +174,13 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
 		return
 	}
+	mode, err := jr.mode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job: %v", err)
+		return
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	ticket := s.sched.SubmitPriority(ctx, rs, jr.Priority)
+	ticket := s.sched.SubmitMode(ctx, rs, jr.Priority, mode)
 
 	s.mu.Lock()
 	s.nextJob++

@@ -51,6 +51,7 @@ type scenarioRun struct {
 	id     string
 	name   string
 	title  string
+	mode   string
 	cancel context.CancelFunc
 	sweeps [][]*campaign.Ticket
 	pinned []*campaign.Ticket
@@ -94,6 +95,8 @@ type scenarioStatus struct {
 	ID    string `json:"id"`
 	Name  string `json:"name"`
 	Title string `json:"title,omitempty"`
+	// Mode is the scenario's query tier ("exact" or "fast").
+	Mode string `json:"mode"`
 	// State is "running" until the renderer finished every sweep, then
 	// "done" or "failed".
 	State  string          `json:"state"`
@@ -131,7 +134,7 @@ func progress(idx int, tickets []*campaign.Ticket) sweepProgress {
 func (run *scenarioRun) status() scenarioStatus {
 	state, errMsg := run.snapshot()
 	st := scenarioStatus{
-		ID: run.id, Name: run.name, Title: run.title,
+		ID: run.id, Name: run.name, Title: run.title, Mode: run.mode,
 		State: state, Error: errMsg,
 		PinnedJobs:  len(run.pinned),
 		OutputBytes: run.buf.Len(),
@@ -185,22 +188,26 @@ func (s *Server) handleSubmitScenario(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	run := &scenarioRun{
-		id: id, name: sc.Name, title: sc.Title,
+		id: id, name: sc.Name, title: sc.Title, mode: sc.Mode.String(),
 		cancel:     cancel,
 		buf:        &syncBuffer{},
 		artDir:     artDir,
 		renderDone: make(chan struct{}),
 		state:      "running",
 	}
+	// Submissions carry the scenario's query mode, so a "fast" study is
+	// answered from the surrogate wherever its models are tight enough
+	// and simulates only the refusals (the renderer's own engine requests
+	// coalesce onto these tickets either way).
 	for _, batch := range sweepBatches {
 		tickets := make([]*campaign.Ticket, len(batch))
 		for i, rs := range batch {
-			tickets[i] = s.sched.Submit(ctx, rs)
+			tickets[i] = s.sched.SubmitMode(ctx, rs, 0, sc.Mode)
 		}
 		run.sweeps = append(run.sweeps, tickets)
 	}
 	for _, rs := range pinnedBatch {
-		run.pinned = append(run.pinned, s.sched.Submit(ctx, rs))
+		run.pinned = append(run.pinned, s.sched.SubmitMode(ctx, rs, 0, sc.Mode))
 	}
 
 	s.mu.Lock()

@@ -46,6 +46,7 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/campaign"
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/scenario"
+	"github.com/spechpc/spechpc-sim/internal/surrogate"
 )
 
 // Options tunes a Server.
@@ -59,6 +60,11 @@ type Options struct {
 	// ArtifactDir is where scenario CSV artifacts are written (one
 	// subdirectory per scenario). Empty selects a temp directory.
 	ArtifactDir string
+	// Surrogate attaches the analytic fast tier: New registers the index
+	// as the scheduler's predictor (and feedback observer), mode=fast
+	// submissions may be answered from its fitted models, and /statsz
+	// gains a surrogate block. Nil serves every query exactly.
+	Surrogate *surrogate.Index
 }
 
 // Server serves the campaign scheduler over HTTP. Construct with New;
@@ -86,6 +92,9 @@ type Server struct {
 // New wraps a scheduler in a Server. The scheduler may be shared with
 // in-process planners; the service's submissions coalesce with theirs.
 func New(sched *campaign.Scheduler, opts Options) *Server {
+	if opts.Surrogate != nil {
+		sched.SetPredictor(opts.Surrogate)
+	}
 	return &Server{
 		sched:  sched,
 		engine: campaign.NewWithScheduler(sched),
@@ -216,6 +225,9 @@ type statszResponse struct {
 	Jobs       int            `json:"jobs_submitted"`
 	Scenarios  int            `json:"scenarios_submitted"`
 	Store      *statszStore   `json:"store"`
+	// Surrogate is present when an analytic surrogate index is attached
+	// (Options.Surrogate).
+	Surrogate *statszSurrogate `json:"surrogate,omitempty"`
 }
 
 type statszCampaign struct {
@@ -226,6 +238,22 @@ type statszCampaign struct {
 	FreshSims   int `json:"fresh_sims"`
 	StoreFaults int `json:"store_faults"`
 	Cancelled   int `json:"cancelled"`
+	// Surrogate taxonomy, mirroring Stats: hits answered from the fast
+	// tier, misses had no fitted model, refused had a model outside its
+	// hull or tolerance (both fall back to exact simulation).
+	SurrogateHits    int `json:"surrogate_hits"`
+	SurrogateMisses  int `json:"surrogate_misses"`
+	SurrogateRefused int `json:"surrogate_refused"`
+}
+
+// statszSurrogate is the model-inventory view of the attached index.
+type statszSurrogate struct {
+	Models   int   `json:"models"`
+	Families int   `json:"families"`
+	Observed int64 `json:"observed"`
+	Hits     int64 `json:"hits"`
+	Refused  int64 `json:"refused"`
+	NoModel  int64 `json:"no_model"`
 }
 
 type statszStore struct {
@@ -242,13 +270,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	resp := statszResponse{
 		Campaign: statszCampaign{
-			Jobs:        st.Jobs,
-			MemoHits:    st.Hits,
-			Coalesced:   st.Coalesced,
-			StoreHits:   st.StoreHits,
-			FreshSims:   st.Misses,
-			StoreFaults: st.StoreFaults,
-			Cancelled:   st.Cancelled,
+			Jobs:             st.Jobs,
+			MemoHits:         st.Hits,
+			Coalesced:        st.Coalesced,
+			StoreHits:        st.StoreHits,
+			FreshSims:        st.Misses,
+			StoreFaults:      st.StoreFaults,
+			Cancelled:        st.Cancelled,
+			SurrogateHits:    st.SurrogateHits,
+			SurrogateMisses:  st.SurrogateMisses,
+			SurrogateRefused: st.SurrogateRefused,
 		},
 		Workers:    s.sched.Workers(),
 		QueueDepth: s.sched.QueueDepth(),
@@ -257,6 +288,14 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Scenarios:  runs,
 	}
 	resp.Store = s.storeUsage()
+	if idx := s.opts.Surrogate; idx != nil {
+		fitted, families := idx.Models()
+		hits, refused, noModel, observed := idx.Counters()
+		resp.Surrogate = &statszSurrogate{
+			Models: fitted, Families: families, Observed: observed,
+			Hits: hits, Refused: refused, NoModel: noModel,
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,45 @@
+package surrogate
+
+import "testing"
+
+// BenchmarkSurrogateQuery measures the steady-state surrogate answer
+// path: family resolution is hoisted out (Lookup allocates the family
+// key once), the timed loop is Model.Predict — pure arithmetic over the
+// fitted arrays. The benchgate pipeline holds this at 0 allocs/op.
+func BenchmarkSurrogateQuery(b *testing.B) {
+	idx := seedIndex()
+	fam := synthFamily()
+	fam.Ranks = 13
+	m, ok := idx.Lookup(fam)
+	if !ok {
+		b.Fatal("no fitted model for seeded family")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := m.Predict(13, 1.6e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Wall <= 0 {
+			b.Fatal("non-positive wall prediction")
+		}
+	}
+}
+
+// BenchmarkSurrogatePredictEndToEnd includes family resolution and
+// result synthesis — the path campaign.Scheduler actually calls per
+// fast-mode submission.
+func BenchmarkSurrogatePredictEndToEnd(b *testing.B) {
+	idx := seedIndex()
+	fam := synthFamily()
+	fam.Ranks = 13
+	fam.ClockHz = 1.6e9
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Predict(fam); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package surrogate
+
+// linFit is a two-parameter least-squares line y = a + b*x, the
+// workhorse behind every clock-axis fit: the wall model t0 + t1*(1/f),
+// the chip-power model a + b*kappa(f), and the DRAM-energy model
+// c0*wall + c1 are all linear in one transformed regressor.
+type linFit struct {
+	a, b float64
+}
+
+// fitLine solves min sum (a + b*x_i - y_i)^2 via the normal equations.
+// A degenerate design (all x equal, or fewer than two points) collapses
+// to the mean with zero slope, so callers never see NaN coefficients.
+func fitLine(xs, ys []float64) linFit {
+	n := float64(len(xs))
+	if len(xs) == 0 {
+		return linFit{}
+	}
+	var sx, sy, sxx, sxy float64
+	for i, x := range xs {
+		sx += x
+		sy += ys[i]
+		sxx += x * x
+		sxy += x * ys[i]
+	}
+	det := n*sxx - sx*sx
+	// Relative degeneracy test: det underflows quadratically when the
+	// x spread shrinks, so compare against the magnitude of sxx.
+	if det <= 1e-12*n*sxx || len(xs) < 2 {
+		return linFit{a: sy / n}
+	}
+	b := (n*sxy - sx*sy) / det
+	return linFit{a: (sy - b*sx) / n, b: b}
+}
+
+// at evaluates the line.
+func (l linFit) at(x float64) float64 { return l.a + l.b*x }

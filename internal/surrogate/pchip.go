@@ -1,0 +1,114 @@
+package surrogate
+
+// pchip is a fitted shape-preserving piecewise-cubic Hermite interpolant
+// (Fritsch–Carlson PCHIP): it passes through every knot, never
+// overshoots between knots, and preserves local monotonicity — exactly
+// the behaviour wanted for scaling curves, where a classic cubic spline
+// would ring around the saturation knee. Evaluation is allocation-free.
+type pchip struct {
+	x []float64 // strictly increasing knots
+	y []float64 // values at the knots
+	d []float64 // Fritsch–Carlson derivatives at the knots
+}
+
+// fitPCHIP builds the interpolant over strictly increasing xs. It
+// panics on mismatched lengths; callers guarantee len >= 2.
+func fitPCHIP(xs, ys []float64) pchip {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("surrogate: pchip needs >= 2 matched points")
+	}
+	n := len(xs)
+	h := make([]float64, n-1)     // interval widths
+	delta := make([]float64, n-1) // secant slopes
+	for i := 0; i < n-1; i++ {
+		h[i] = xs[i+1] - xs[i]
+		delta[i] = (ys[i+1] - ys[i]) / h[i]
+	}
+	d := make([]float64, n)
+	// Interior derivatives: zero at local extrema (sign change or flat
+	// secant), else the weighted harmonic mean of the two secants — the
+	// Fritsch–Carlson choice that guarantees monotonicity per interval.
+	for i := 1; i < n-1; i++ {
+		if delta[i-1]*delta[i] <= 0 {
+			d[i] = 0
+			continue
+		}
+		w1 := 2*h[i] + h[i-1]
+		w2 := h[i] + 2*h[i-1]
+		d[i] = (w1 + w2) / (w1/delta[i-1] + w2/delta[i])
+	}
+	d[0] = endSlope(h[0], delta[0], hAt(h, 1), deltaAt(delta, 1))
+	d[n-1] = endSlope(h[n-2], delta[n-2], hAt(h, n-3), deltaAt(delta, n-3))
+	return pchip{x: xs, y: ys, d: d}
+}
+
+func hAt(h []float64, i int) float64 {
+	if i < 0 || i >= len(h) {
+		return 0
+	}
+	return h[i]
+}
+
+func deltaAt(delta []float64, i int) float64 {
+	if i < 0 || i >= len(delta) {
+		return 0
+	}
+	return delta[i]
+}
+
+// endSlope is the standard shape-preserving three-point endpoint
+// formula, clamped so the boundary interval cannot overshoot. h0/delta0
+// belong to the boundary interval, h1/delta1 to its neighbour (zero
+// when only one interval exists, degrading to the secant slope).
+func endSlope(h0, delta0, h1, delta1 float64) float64 {
+	if h1 == 0 {
+		return delta0
+	}
+	d := ((2*h0+h1)*delta0 - h0*delta1) / (h0 + h1)
+	if d*delta0 <= 0 {
+		return 0
+	}
+	if delta0*delta1 < 0 && abs(d) > 3*abs(delta0) {
+		return 3 * delta0
+	}
+	return d
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// eval interpolates at q, clamping outside the knot range (the model
+// layer refuses out-of-hull queries before eval is reached; the clamp
+// only defends LOO probes landing exactly on a boundary). Zero allocs.
+func (p pchip) eval(q float64) float64 {
+	n := len(p.x)
+	if q <= p.x[0] {
+		return p.y[0]
+	}
+	if q >= p.x[n-1] {
+		return p.y[n-1]
+	}
+	// Binary search for the interval with x[i] <= q < x[i+1].
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.x[mid] <= q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	h := p.x[lo+1] - p.x[lo]
+	t := (q - p.x[lo]) / h
+	t2 := t * t
+	t3 := t2 * t
+	h00 := 2*t3 - 3*t2 + 1
+	h10 := t3 - 2*t2 + t
+	h01 := -2*t3 + 3*t2
+	h11 := t3 - t2
+	return p.y[lo]*h00 + h*p.d[lo]*h10 + p.y[lo+1]*h01 + h*p.d[lo+1]*h11
+}

@@ -1,0 +1,143 @@
+// Package validate is the cross-validation harness that keeps the
+// surrogate tier's self-reported error bounds honest: it refits models
+// with single sweep points held out (leave-one-out) and checks that the
+// bound each reduced model reports actually covers its error on the
+// held-out truth — and that held-out endpoints, which shrink the fitted
+// hull, are refused rather than extrapolated. The harness operates on
+// exact results the caller already computed (through the campaign
+// engine or spec.Run directly), so validation itself never simulates.
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/spechpc/spechpc-sim/internal/campaign"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+	"github.com/spechpc/spechpc-sim/internal/surrogate"
+)
+
+// Point is one held-out probe: the reduced model's prediction compared
+// against the exact result it never saw.
+type Point struct {
+	// Ranks is the held-out sweep point.
+	Ranks int
+	// Bound is the reduced model's self-reported relative error bound
+	// at this query.
+	Bound float64
+	// ErrWall, ErrEnergy, ErrEDP are the actual relative errors against
+	// the held-out truth.
+	ErrWall   float64
+	ErrEnergy float64
+	ErrEDP    float64
+	// Covered reports whether every error fell within Bound.
+	Covered bool
+}
+
+// MaxErr returns the worst of the three tracked errors.
+func (p Point) MaxErr() float64 {
+	return math.Max(p.ErrWall, math.Max(p.ErrEnergy, p.ErrEDP))
+}
+
+// Report is the leave-one-out outcome for one (benchmark, cluster)
+// sweep.
+type Report struct {
+	Benchmark string
+	Cluster   string
+	// Held are the interior held-out probes, in rank order.
+	Held []Point
+	// Covered counts the held probes whose errors fell within the
+	// reduced model's bound.
+	Covered int
+	// EndpointsRefused reports that models fitted without each hull
+	// endpoint refused to extrapolate to it (both ends).
+	EndpointsRefused bool
+}
+
+// Coverage returns the fraction of held-out probes within bound.
+func (r Report) Coverage() float64 {
+	if len(r.Held) == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(len(r.Held))
+}
+
+// LeaveOneOut cross-validates one family sweep: results must all belong
+// to one (benchmark, class, cluster, options, network) family at the
+// base clock, with at least six distinct rank points. For every
+// interior point it fits a fresh model on the remaining points and
+// probes the held-out truth; for each endpoint it asserts the reduced
+// model refuses the now-out-of-hull query.
+func LeaveOneOut(results []spec.RunResult) (Report, error) {
+	if len(results) < 6 {
+		return Report{}, fmt.Errorf("validate: need >= 6 sweep points, got %d", len(results))
+	}
+	sorted := append([]spec.RunResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Spec.Ranks < sorted[j].Spec.Ranks })
+	rep := Report{Benchmark: sorted[0].Spec.Benchmark}
+	if sorted[0].Spec.Cluster != nil {
+		rep.Cluster = sorted[0].Spec.Cluster.Name
+	}
+
+	reduced := func(hold int) (*surrogate.Model, error) {
+		idx := surrogate.NewIndex()
+		for j, res := range sorted {
+			if j != hold {
+				idx.Observe(res)
+			}
+		}
+		m, ok := idx.Lookup(sorted[hold].Spec)
+		if !ok {
+			return nil, fmt.Errorf("validate: %s/%s: no model after holding out ranks=%d",
+				rep.Benchmark, rep.Cluster, sorted[hold].Spec.Ranks)
+		}
+		return m, nil
+	}
+
+	for i := 1; i < len(sorted)-1; i++ {
+		m, err := reduced(i)
+		if err != nil {
+			return rep, err
+		}
+		truth := sorted[i]
+		p, err := m.Predict(truth.Spec.Ranks, truth.Spec.ClockHz)
+		if err != nil {
+			return rep, fmt.Errorf("validate: %s/%s: interior ranks=%d refused: %v",
+				rep.Benchmark, rep.Cluster, truth.Spec.Ranks, err)
+		}
+		actE := truth.Usage.TotalEnergy()
+		pt := Point{
+			Ranks:     truth.Spec.Ranks,
+			Bound:     p.Bound,
+			ErrWall:   relErr(p.Wall, truth.Usage.Wall),
+			ErrEnergy: relErr(p.TotalEnergy(), actE),
+			ErrEDP:    relErr(p.EDP(), actE*truth.Usage.Wall),
+		}
+		pt.Covered = pt.MaxErr() <= pt.Bound
+		if pt.Covered {
+			rep.Covered++
+		}
+		rep.Held = append(rep.Held, pt)
+	}
+
+	rep.EndpointsRefused = true
+	for _, i := range []int{0, len(sorted) - 1} {
+		m, err := reduced(i)
+		if err != nil {
+			return rep, err
+		}
+		if _, err := m.Predict(sorted[i].Spec.Ranks, sorted[i].Spec.ClockHz); !errors.Is(err, campaign.ErrRefused) {
+			rep.EndpointsRefused = false
+		}
+	}
+	return rep, nil
+}
+
+func relErr(pred, act float64) float64 {
+	if act == 0 {
+		return math.Abs(pred)
+	}
+	return math.Abs(pred-act) / math.Abs(act)
+}

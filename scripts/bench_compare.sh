@@ -39,7 +39,7 @@ METRIC="${BENCH_METRIC:-ns/op}"
 ALPHA="${BENCH_ALPHA:-0.05}"
 MAX_GROWTH="${BENCH_MAX_GROWTH_PCT:-10}"
 MIN_COUNT="${BENCH_MIN_COUNT:-5}"
-MICRO_PKGS="./internal/sim ./internal/mpi"
+MICRO_PKGS="./internal/sim ./internal/mpi ./internal/surrogate"
 
 # Accept the legacy metric spellings the PR 3 gate used.
 case "$METRIC" in

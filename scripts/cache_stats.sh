@@ -5,11 +5,19 @@
 # ("bench", "cluster", "class") precisely so plain POSIX tools can read
 # them — no jq required.
 #
-# With --prune <max-bytes>, first evict records by oldest access time
-# until the store's record bytes fit the budget — the maintenance valve
-# that keeps a long-running spechpcd cache directory bounded. Eviction
-# is safe at any time: a pruned record simply degrades the next
-# identical job to one re-simulation and re-write.
+# Stores hold two record classes: raw simulation results ("v1-*.json")
+# and fitted surrogate models ("m1-*.json", under models/). They are
+# counted separately, and the per-benchmark breakdowns read raw records
+# only (model files carry the same flat fields and would double-count).
+#
+# With --prune <max-bytes>, evict records by oldest access time until
+# the store's record bytes fit the budget — the maintenance valve that
+# keeps a long-running spechpcd cache directory bounded. Raw results
+# are always evicted before fitted models: a model summarizes many
+# simulations, so per byte it is the most expensive thing in the store
+# to lose. Eviction is safe at any time: a pruned raw record degrades
+# the next identical job to one re-simulation and re-write, and a
+# pruned model to one refit from whatever results remain.
 #
 # Usage: scripts/cache_stats.sh [--prune <max-bytes>] <store-dir>
 set -eu
@@ -32,19 +40,32 @@ if [ ! -d "$dir" ]; then
     exit 1
 fi
 
-# List records as "atime size path" lines: GNU stat first, BSD fallback.
+# List records of one class as "atime size path" lines: GNU stat
+# first, BSD fallback. $1 is the find -name pattern; surrogate model
+# files ("m1-*") are excluded from the raw class by name, wherever they
+# sit.
 atime_size_path() {
-    find "$dir" -type f -name '*.json' -exec sh -c '
+    find "$dir" -type f -name "$1" ! -name 'm1-*' -exec sh -c '
+        if stat -c "%X %s %n" "$@" 2>/dev/null; then :; else stat -f "%a %z %N" "$@"; fi
+    ' sh {} +
+}
+
+model_atime_size_path() {
+    find "$dir" -type f -name 'm1-*.json' -exec sh -c '
         if stat -c "%X %s %n" "$@" 2>/dev/null; then :; else stat -f "%a %z %N" "$@"; fi
     ' sh {} +
 }
 
 if [ -n "$prune_bytes" ]; then
-    # Oldest-accessed records first; evict while over budget. awk emits
+    # Oldest-accessed raw records first, then — only if still over
+    # budget — oldest fitted models; evict while over budget. awk emits
     # the victim paths (none when the store already fits). substr keeps
     # the path byte-exact — rebuilding from fields would collapse any
     # repeated whitespace inside it.
-    atime_size_path | sort -n | awk -v max="$prune_bytes" '
+    {
+        atime_size_path '*.json' | sort -n
+        model_atime_size_path | sort -n
+    } | awk -v max="$prune_bytes" '
         {
             size[NR] = $2
             path[NR] = substr($0, length($1) + length($2) + 3)
@@ -66,14 +87,16 @@ if [ -n "$prune_bytes" ]; then
     done
 fi
 
-files=$(find "$dir" -type f -name '*.json')
+files=$(find "$dir" -type f -name '*.json' ! -name 'm1-*')
 if [ -z "$files" ]; then
     count=0
 else
     count=$(printf '%s\n' "$files" | wc -l | tr -d ' ')
 fi
+models=$(find "$dir" -type f -name 'm1-*.json' | wc -l | tr -d ' ')
 echo "store:   $dir"
 echo "records: $count"
+echo "models:  $models"
 du -sh "$dir" 2>/dev/null | awk '{print "disk:    " $1}'
 [ "$count" -gt 0 ] || exit 0
 

@@ -1,0 +1,35 @@
+#!/bin/sh
+# coverage_gate.sh — fail CI when a package's statement coverage drops
+# below its floor.
+#
+# The surrogate package is the only place the repo answers queries
+# without simulating, so its correctness rests entirely on its tests:
+# the floor keeps future edits from landing untested prediction paths.
+# Coverage is measured across the whole subtree (the validate/ harness
+# exercises the fitting code cross-package via -coverpkg).
+#
+# Usage: scripts/coverage_gate.sh [<coverpkg> [<min-pct>]]
+set -eu
+cd "$(dirname "$0")/.."
+
+pkg=${1:-./internal/surrogate}
+min=${2:-85}
+
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -coverprofile="$profile" -coverpkg="$pkg" "$pkg/..."
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%$/, "", $NF); print $NF}')
+if [ -z "$total" ]; then
+    echo "coverage_gate: no total line in cover profile" >&2
+    exit 1
+fi
+
+echo "coverage_gate: $pkg statement coverage ${total}% (floor ${min}%)"
+awk -v t="$total" -v m="$min" 'BEGIN { exit (t + 0 >= m + 0) ? 0 : 1 }' || {
+    echo "coverage_gate: ${total}% is below the ${min}% floor for $pkg" >&2
+    echo "coverage_gate: per-function breakdown:" >&2
+    go tool cover -func="$profile" >&2
+    exit 1
+}
