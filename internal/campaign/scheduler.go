@@ -84,6 +84,15 @@ type Observer interface {
 	Observe(res spec.RunResult)
 }
 
+// Runner executes one resolved job. The default runner is spec.Run —
+// simulate in process — but a coordinator replaces it with a dispatcher
+// that ships the job to a fleet worker over HTTP (internal/fleet), so
+// the whole scheduler pipeline (priority queue, coalescing, memo, store
+// write-through) is reused unchanged for distributed execution. A
+// Runner must be safe for concurrent use: up to Workers() calls run at
+// once.
+type Runner func(rs spec.RunSpec) (spec.RunResult, error)
+
 // JobState is the lifecycle position of a scheduled job.
 type JobState int
 
@@ -198,6 +207,10 @@ type Scheduler struct {
 	predictor Predictor
 	observer  Observer
 
+	// runner resolves jobs that miss the memo and store (SetRunner); nil
+	// means spec.Run. Set before serving traffic.
+	runner Runner
+
 	mu      sync.Mutex
 	cache   map[string]*schedJob // every key ever submitted (minus cancelled/evicted)
 	queue   jobQueue
@@ -281,8 +294,22 @@ func (s *Scheduler) SetPredictor(p Predictor) {
 	}
 }
 
+// SetRunner replaces the scheduler's job executor (default spec.Run).
+// Store lookups, memoization, coalescing, and surrogate handling are
+// unaffected: only the "actually run this job" step is routed through r.
+// Call once, before submitting work.
+func (s *Scheduler) SetRunner(r Runner) { s.runner = r }
+
 // Workers returns the worker-pool cap.
 func (s *Scheduler) Workers() int { return s.workers }
+
+// Closed reports whether Close has begun: new submissions are rejected
+// with ErrClosed. The service's readiness probe reads this.
+func (s *Scheduler) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
 
 // Store returns the persistent store backing the scheduler (nil if none).
 func (s *Scheduler) Store() Store { return s.store }
@@ -472,7 +499,11 @@ func (s *Scheduler) execute(key string, rs spec.RunSpec) (spec.RunResult, error)
 		}
 	}
 	s.count(func(st *Stats) { st.Misses++ })
-	res, err := spec.Run(rs)
+	run := s.runner
+	if run == nil {
+		run = spec.Run
+	}
+	res, err := run(rs)
 	if storable && err == nil {
 		if perr := s.store.Put(key, NewRecord(key, res)); perr != nil {
 			s.count(func(st *Stats) { st.StoreFaults++ })

@@ -14,6 +14,7 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/mpi"
 	"github.com/spechpc/spechpc-sim/internal/spec"
+	"github.com/spechpc/spechpc-sim/internal/trace"
 )
 
 // Gate coordination for the scheduler tests. The sched-block kernel
@@ -315,6 +316,120 @@ func TestMemoBoundEvictsToStore(t *testing.T) {
 	}
 	if after.StoreHits != before.StoreHits+1 {
 		t.Errorf("store hits %d -> %d, want +1 for the evicted job", before.StoreHits, after.StoreHits)
+	}
+}
+
+// TestCloseDuringSubmitCancelStorm races Scheduler.Close against a
+// storm of concurrent Submit/Cancel calls. The contract under -race:
+// every ticket resolves (its Done channel closes — no leaked waiter, no
+// deadlock), Close returns, and submissions that land after the close
+// resolve promptly with ErrClosed instead of hanging on a queue nobody
+// drains. Jobs use the real counter kernel so tickets can resolve any
+// of the four ways (result, coalesced hit, cancelled, closed).
+func TestCloseDuringSubmitCancelStorm(t *testing.T) {
+	s := NewScheduler(2, nil)
+	const goroutines = 8
+	const submitsPer = 30
+
+	jobs := make([]spec.RunSpec, 4)
+	for i := range jobs {
+		jobs[i] = spec.RunSpec{
+			Benchmark: "campaign-counter", Class: bench.Tiny,
+			Cluster: machine.MustGet("ClusterA"), Ranks: 1,
+			Options: bench.Options{SimSteps: 1 + i},
+		}
+	}
+
+	var mu sync.Mutex
+	var tickets []*Ticket
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			<-start
+			for i := 0; i < submitsPer; i++ {
+				tk := s.SubmitPriority(context.Background(), jobs[r.Intn(len(jobs))], r.Intn(3))
+				if r.Intn(2) == 0 {
+					tk.Cancel()
+				}
+				mu.Lock()
+				tickets = append(tickets, tk)
+				mu.Unlock()
+			}
+		}(int64(g) + 1)
+	}
+	closed := make(chan struct{})
+	go func() {
+		<-start
+		s.Close() // races the storm: some submissions land before, some after
+		close(closed)
+	}()
+	close(start)
+	wg.Wait()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close deadlocked against the Submit/Cancel storm")
+	}
+
+	deadline := time.After(30 * time.Second)
+	for i, tk := range tickets {
+		select {
+		case <-tk.Done():
+		case <-deadline:
+			t.Fatalf("ticket %d leaked: still unresolved after Close (state %v)", i, tk.State())
+		}
+		o, ok := tk.Outcome()
+		if !ok {
+			t.Fatalf("ticket %d: Done closed without an outcome", i)
+		}
+		if o.Err != nil && !errors.Is(o.Err, ErrCancelled) && !errors.Is(o.Err, ErrClosed) {
+			t.Errorf("ticket %d resolved with unexpected error %v", i, o.Err)
+		}
+	}
+	// The scheduler stays rejecting — and non-blocking — after the storm.
+	if o := s.Submit(context.Background(), jobs[0]).Wait(context.Background()); !errors.Is(o.Err, ErrClosed) {
+		t.Errorf("post-storm submission resolved with %v, want ErrClosed", o.Err)
+	}
+}
+
+// TestSetRunnerRoutesExecution checks SetRunner redirects job execution
+// away from spec.Run — the seam the fleet coordinator uses to dispatch
+// jobs to remote workers — while coalescing and memoization still apply
+// in front of it: one runner call per unique key, and the runner's
+// result (not a local simulation) is what waiters receive.
+func TestSetRunnerRoutesExecution(t *testing.T) {
+	s := NewScheduler(2, nil)
+	defer s.Close()
+
+	var calls atomic.Int64
+	s.SetRunner(func(rs spec.RunSpec) (spec.RunResult, error) {
+		calls.Add(1)
+		return spec.RunResult{
+			Spec:   rs,
+			Report: bench.RunReport{StepsModeled: 7, StepsSimulated: 7},
+			Trace:  trace.FromSums(make([][]float64, rs.Ranks)),
+		}, nil
+	})
+
+	job := blockJob(401) // sched-block would hang if spec.Run were used
+	t1 := s.Submit(context.Background(), job)
+	t2 := s.Submit(context.Background(), job)
+	o1, o2 := t1.Wait(context.Background()), t2.Wait(context.Background())
+	if o1.Err != nil || o2.Err != nil {
+		t.Fatalf("runner-backed jobs failed: %v / %v", o1.Err, o2.Err)
+	}
+	if o1.Result.Report.StepsModeled != 7 {
+		t.Errorf("waiter got StepsModeled=%d, want the runner's synthetic 7", o1.Result.Report.StepsModeled)
+	}
+	if o := s.Submit(context.Background(), blockJob(402)).Wait(context.Background()); o.Err != nil {
+		t.Fatalf("second unique job failed: %v", o.Err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("runner called %d times, want 2 (one per unique key; duplicates coalesce)", got)
 	}
 }
 

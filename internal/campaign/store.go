@@ -65,6 +65,11 @@ func NewRecord(key string, res spec.RunResult) Record {
 	}
 }
 
+// Result reconstructs the RunResult a record was snapshotted from —
+// exported for the fleet dispatcher, which receives Records over the
+// worker HTTP API and must reject malformed ones as retryable faults.
+func (r Record) Result() (spec.RunResult, bool) { return r.result() }
+
 // result reconstructs the RunResult a record was snapshotted from. It
 // reports false for records of a different format generation or with a
 // trace snapshot that does not cover the job's ranks (a truncated or
@@ -135,29 +140,44 @@ func (s *DirStore) path(key string) string {
 	return filepath.Join(s.dir, shard(key), key+".json")
 }
 
-// Get loads the record persisted under key. Decode failures and key
-// mismatches surface as errors so the engine can count the fault and
-// re-simulate (overwriting the bad entry).
+// Get loads the record persisted under key. Corrupt entries self-heal:
+// a zero-length file (the classic artifact of a crash between create
+// and flush on filesystems that do not order data before rename) is
+// removed and reported as a clean miss, while a torn or mismatched
+// record is removed and surfaced as an error so the engine counts the
+// fault; either way the next Get is a plain miss and the re-simulated
+// result overwrites the damage.
 func (s *DirStore) Get(key string) (Record, bool, error) {
-	data, err := os.ReadFile(s.path(key))
+	path := s.path(key)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return Record{}, false, nil
 		}
 		return Record{}, false, fmt.Errorf("campaign: store read %s: %w", key, err)
 	}
+	if len(data) == 0 {
+		os.Remove(path)
+		return Record{}, false, nil
+	}
 	var rec Record
 	if err := json.Unmarshal(data, &rec); err != nil {
+		os.Remove(path)
 		return Record{}, false, fmt.Errorf("campaign: store decode %s: %w", key, err)
 	}
 	if rec.Key != key {
+		os.Remove(path)
 		return Record{}, false, fmt.Errorf("campaign: store entry %s carries key %s", key, rec.Key)
 	}
 	return rec, true, nil
 }
 
 // Put persists a record under key, atomically replacing any existing
-// entry.
+// entry. The temp file is fsynced before the rename: the rename alone
+// is atomic with respect to concurrent readers but not with respect to
+// a crash — without the flush, a power loss can leave the final name
+// pointing at zero-length or partial content. The containing directory
+// is then fsynced so the rename itself survives the crash.
 func (s *DirStore) Put(key string, rec Record) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -172,14 +192,22 @@ func (s *DirStore) Put(key string, rec Record) error {
 		return fmt.Errorf("campaign: store write %s: %w", key, err)
 	}
 	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: store write %s: %v/%v", key, werr, cerr)
+		return fmt.Errorf("campaign: store write %s: %v/%v/%v", key, werr, serr, cerr)
 	}
 	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: store write %s: %w", key, err)
+	}
+	// Directory flush is best-effort: the record is already visible and
+	// well-formed, so a filesystem that rejects fsync on directories only
+	// re-widens the crash window — it must not fail a successful write.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

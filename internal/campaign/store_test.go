@@ -161,6 +161,97 @@ func TestCorruptRecordRepaired(t *testing.T) {
 	}
 }
 
+// TestZeroLengthRecordSelfHeals covers the crash artifact the fsync in
+// Put defends against: a zero-length file under a valid record name. It
+// must read as a clean miss (not a fault — there is nothing to decode),
+// be removed on sight, and be transparently replaced by the
+// re-simulated record.
+func TestZeroLengthRecordSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := counterJob(1)
+	key := Key(job)
+	if out := NewWithStore(1, st).Run([]spec.RunSpec{job}); out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	path := filepath.Join(dir, key[3:5], key+".json")
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := st.Get(key); ok || err != nil {
+		t.Fatalf("zero-length record read as ok=%v err=%v, want a clean miss", ok, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("zero-length record not removed on Get (stat err %v)", err)
+	}
+	e := NewWithStore(1, st)
+	if out := e.Run([]spec.RunSpec{job}); out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if s := e.Stats(); s.Misses != 1 || s.StoreFaults != 0 {
+		t.Errorf("stats = %+v, want one quiet miss and no fault for a zero-length record", s)
+	}
+	if rec, ok, err := st.Get(key); err != nil || !ok || rec.Bench != job.Benchmark {
+		t.Errorf("record not rewritten after self-heal: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCorruptRecordRemovedOnGet checks a torn record costs exactly one
+// fault: the first Get surfaces the decode error and removes the file,
+// so the second Get is a clean miss instead of faulting forever.
+func TestCorruptRecordRemovedOnGet(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := counterJob(1)
+	key := Key(job)
+	if out := NewWithStore(1, st).Run([]spec.RunSpec{job}); out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	path := filepath.Join(dir, key[3:5], key+".json")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := st.Get(key); err == nil {
+		t.Fatal("torn record read without error")
+	}
+	if _, ok, err := st.Get(key); ok || err != nil {
+		t.Errorf("second Get after a torn record: ok=%v err=%v, want a clean miss", ok, err)
+	}
+}
+
+// TestPutLeavesNoTempFiles checks successful and replaced writes clean
+// up their ".tmp-" staging files — a leak here grows without bound on a
+// long-lived daemon rewriting hot keys.
+func TestPutLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := counterJob(1)
+	key := Key(job)
+	rec := Record{Format: recordFormat, Key: key, Spec: job}
+	for i := 0; i < 3; i++ { // overwrite twice to cover the replace path
+		if err := st.Put(key, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.Contains(d.Name(), ".tmp-") {
+			t.Errorf("leftover staging file %s", path)
+		}
+		return nil
+	})
+}
+
 // TestTruncatedTraceSumsDegradeToMiss checks a record whose trace
 // snapshot does not cover the job's ranks is rejected at load (and
 // re-simulated) instead of reconstructing a short Recorder that would

@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Decision is the front door's verdict on one submission.
+type Decision int
+
+const (
+	// Admit: let the submission into the scheduler.
+	Admit Decision = iota
+	// Degrade: the exact queue is saturated but the caller may answer
+	// from the surrogate fast tier instead of shedding.
+	Degrade
+	// Shed: reject now with 429 and a Retry-After hint.
+	Shed
+)
+
+// AdmissionConfig tunes the front door. Zero values disable the
+// corresponding control (RatePerClient <= 0: no rate limiting;
+// MaxQueue <= 0: no queue shedding), so an all-zero config admits
+// everything — the pre-fleet behaviour.
+type AdmissionConfig struct {
+	// RatePerClient is each client's sustained submissions/second;
+	// Burst is the bucket depth (zero means max(1, RatePerClient)).
+	RatePerClient float64
+	Burst         float64
+
+	// MaxQueue sheds work when the scheduler's queue depth reaches it.
+	// Bulk submissions (priority <= 0) shed earlier, at
+	// BulkFraction×MaxQueue (zero means DefaultBulkFraction), keeping
+	// headroom for interactive, higher-priority requests — the priority
+	// lane.
+	MaxQueue     int
+	BulkFraction float64
+
+	// RetryAfter is the hint attached to queue sheds (rate-limit sheds
+	// compute the actual token wait); zero means DefaultRetryAfter.
+	RetryAfter time.Duration
+
+	// Clock is the token-bucket time source; nil means time.Now.
+	Clock func() time.Time
+}
+
+// Admission defaults; see AdmissionConfig.
+const (
+	DefaultBulkFraction = 0.5
+	DefaultRetryAfter   = time.Second
+)
+
+// AdmissionStats counts front-door outcomes for /statsz.
+type AdmissionStats struct {
+	Admitted    uint64 `json:"admitted"`
+	RateLimited uint64 `json:"rate_limited"` // shed by a client's token bucket
+	QueueShed   uint64 `json:"queue_shed"`   // shed (or degrade-shed) on queue depth
+	Degraded    uint64 `json:"degraded"`     // answered by the surrogate instead of shed
+}
+
+// Admission is the front-door gate: per-client token buckets in front
+// of a queue-depth limiter with priority lanes and optional surrogate
+// degradation. Safe for concurrent use.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+
+	admitted    atomic.Uint64
+	rateLimited atomic.Uint64
+	queueShed   atomic.Uint64
+	degraded    atomic.Uint64
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewAdmission builds a gate from cfg, filling defaulted fields.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.Burst <= 0 {
+		cfg.Burst = cfg.RatePerClient
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.BulkFraction <= 0 || cfg.BulkFraction > 1 {
+		cfg.BulkFraction = DefaultBulkFraction
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Admission{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// Decide gates one submission. client is the caller's identity (header
+// or remote host), priority the submission's scheduler priority,
+// queueDepth the scheduler's current backlog, and canDegrade whether
+// the caller can answer from the surrogate tier. The returned
+// retryAfter is meaningful for Shed only. A Degrade decision is
+// tentative — the caller reports how it went via NoteDegraded or
+// NoteDegradeShed, which do the counting.
+func (a *Admission) Decide(client string, priority, queueDepth int, canDegrade bool) (d Decision, retryAfter time.Duration) {
+	if a.cfg.RatePerClient > 0 {
+		if wait, ok := a.take(client); !ok {
+			a.rateLimited.Add(1)
+			return Shed, wait
+		}
+	}
+	if a.cfg.MaxQueue > 0 {
+		limit := a.cfg.MaxQueue
+		if priority <= 0 {
+			if bulk := int(a.cfg.BulkFraction * float64(a.cfg.MaxQueue)); bulk < limit {
+				limit = bulk
+			}
+		}
+		if queueDepth >= limit {
+			if canDegrade {
+				return Degrade, a.cfg.RetryAfter
+			}
+			a.queueShed.Add(1)
+			return Shed, a.cfg.RetryAfter
+		}
+	}
+	a.admitted.Add(1)
+	return Admit, 0
+}
+
+// take spends one token from client's bucket, reporting the wait until
+// a token accrues when the bucket is empty.
+func (a *Admission) take(client string) (wait time.Duration, ok bool) {
+	now := a.cfg.Clock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: a.cfg.Burst, last: now}
+		a.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.cfg.RatePerClient
+	b.last = now
+	if b.tokens > a.cfg.Burst {
+		b.tokens = a.cfg.Burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / a.cfg.RatePerClient
+	return time.Duration(need * float64(time.Second)), false
+}
+
+// NoteDegraded records a saturation-time submission answered by the
+// surrogate fast tier.
+func (a *Admission) NoteDegraded() { a.degraded.Add(1) }
+
+// NoteDegradeShed records a Degrade decision the surrogate could not
+// answer (out of model range), which the caller then shed.
+func (a *Admission) NoteDegradeShed() { a.queueShed.Add(1) }
+
+// Stats snapshots the admission counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Admitted:    a.admitted.Load(),
+		RateLimited: a.rateLimited.Load(),
+		QueueShed:   a.queueShed.Load(),
+		Degraded:    a.degraded.Load(),
+	}
+}

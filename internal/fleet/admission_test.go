@@ -1,0 +1,92 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucketRateLimits drives one client's bucket through burst
+// exhaustion and refill with a fake clock: Burst requests pass, the
+// next sheds with a wait matching the refill rate, and after that wait
+// elapses a request passes again. A second client has its own bucket.
+func TestTokenBucketRateLimits(t *testing.T) {
+	clk := newFakeClock()
+	a := NewAdmission(AdmissionConfig{RatePerClient: 2, Burst: 3, Clock: clk.Now})
+
+	for i := 0; i < 3; i++ {
+		if d, _ := a.Decide("alice", 1, 0, false); d != Admit {
+			t.Fatalf("burst request %d not admitted", i)
+		}
+	}
+	d, retry := a.Decide("alice", 1, 0, false)
+	if d != Shed {
+		t.Fatal("request over burst admitted")
+	}
+	if want := 500 * time.Millisecond; retry != want {
+		t.Errorf("Retry-After = %v, want %v (1 token at 2/s)", retry, want)
+	}
+	// Other clients are unaffected.
+	if d, _ := a.Decide("bob", 1, 0, false); d != Admit {
+		t.Error("rate limit leaked across clients")
+	}
+	clk.Advance(500 * time.Millisecond)
+	if d, _ := a.Decide("alice", 1, 0, false); d != Admit {
+		t.Error("request after refill interval not admitted")
+	}
+
+	st := a.Stats()
+	if st.Admitted != 5 || st.RateLimited != 1 {
+		t.Errorf("stats = %+v, want 5 admitted / 1 rate-limited", st)
+	}
+}
+
+// TestQueueDepthLanes pins the priority-lane thresholds: bulk
+// (priority <= 0) submissions shed at BulkFraction×MaxQueue while
+// interactive ones still pass, and everything sheds at MaxQueue. With a
+// degradable caller, saturation yields Degrade instead of Shed.
+func TestQueueDepthLanes(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxQueue: 10}) // bulk lane = 5
+
+	cases := []struct {
+		priority, depth int
+		canDegrade      bool
+		want            Decision
+	}{
+		{0, 4, false, Admit},
+		{0, 5, false, Shed}, // bulk lane full
+		{1, 5, false, Admit},
+		{1, 9, false, Admit},
+		{1, 10, false, Shed}, // queue full for everyone
+		{5, 10, false, Shed},
+		{0, 5, true, Degrade},
+		{1, 10, true, Degrade},
+	}
+	for i, tc := range cases {
+		d, retry := a.Decide("c", tc.priority, tc.depth, tc.canDegrade)
+		if d != tc.want {
+			t.Errorf("case %d (pri %d depth %d degrade %v): %v, want %v",
+				i, tc.priority, tc.depth, tc.canDegrade, d, tc.want)
+		}
+		if d == Shed && retry != DefaultRetryAfter {
+			t.Errorf("case %d: Retry-After = %v, want default %v", i, retry, DefaultRetryAfter)
+		}
+	}
+
+	a.NoteDegraded()
+	a.NoteDegradeShed()
+	st := a.Stats()
+	if st.QueueShed != 4 || st.Degraded != 1 { // 3 sheds above + 1 degrade-shed
+		t.Errorf("stats = %+v, want 4 queue-shed / 1 degraded", st)
+	}
+}
+
+// TestAdmissionZeroConfigAdmitsAll checks the disabled gate is truly
+// open: no rate limit, no queue bound.
+func TestAdmissionZeroConfigAdmitsAll(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{})
+	for i := 0; i < 100; i++ {
+		if d, _ := a.Decide("flood", 0, 1<<20, false); d != Admit {
+			t.Fatalf("zero-config gate shed request %d", i)
+		}
+	}
+}

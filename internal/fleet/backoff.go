@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with equal jitter:
+// attempt n sleeps min(Cap, Base·Mult^n) scaled by a uniform factor in
+// [0.5, 1). The deterministic half keeps retries from hammering a
+// recovering worker too soon; the jittered half de-synchronizes the
+// retry herd when many in-flight jobs lose the same worker at once.
+type Backoff struct {
+	Base time.Duration // first delay; zero means DefaultBackoffBase
+	Cap  time.Duration // delay ceiling; zero means DefaultBackoffCap
+	Mult float64       // growth factor; zero means DefaultBackoffMult
+
+	// Jitter returns a uniform sample in [0, 1). Nil uses the global
+	// math/rand source (safe for concurrent use); tests inject a seeded
+	// rand.Float64 to pin the schedule.
+	Jitter func() float64
+}
+
+// Default backoff schedule: 100ms, 200ms, 400ms, … capped at 5s
+// (before jitter halves-to-full scales each step).
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffCap  = 5 * time.Second
+	DefaultBackoffMult = 2.0
+)
+
+// Delay returns the sleep before retry number attempt (0-based: the
+// delay between the initial try and the first retry is Delay(0)).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, cap_, mult := b.Base, b.Cap, b.Mult
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap_ <= 0 {
+		cap_ = DefaultBackoffCap
+	}
+	if mult <= 0 {
+		mult = DefaultBackoffMult
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := float64(base) * math.Pow(mult, float64(attempt))
+	if d > float64(cap_) {
+		d = float64(cap_)
+	}
+	jitter := b.Jitter
+	if jitter == nil {
+		jitter = rand.Float64
+	}
+	return time.Duration(d * (0.5 + 0.5*jitter()))
+}

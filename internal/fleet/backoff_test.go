@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the capped-exponential-with-jitter delays
+// against a seeded RNG: the exact values below are load-bearing — a
+// change to the base/cap/multiplier defaults or the equal-jitter form
+// (delay × [0.5, 1)) must show up here as a diff, not slip through.
+func TestBackoffSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	jitters := make([]float64, 8)
+	for i := range jitters {
+		jitters[i] = rng.Float64()
+	}
+
+	cases := []struct {
+		name    string
+		b       Backoff
+		attempt int
+		jitter  float64
+	}{
+		{"defaults-first", Backoff{}, 0, jitters[0]},
+		{"defaults-second", Backoff{}, 1, jitters[1]},
+		{"defaults-third", Backoff{}, 2, jitters[2]},
+		{"defaults-capped", Backoff{}, 9, jitters[3]}, // 100ms·2^9 = 51.2s → cap 5s
+		{"custom-growth", Backoff{Base: 50 * time.Millisecond, Cap: time.Second, Mult: 3}, 2, jitters[4]},
+		{"custom-at-cap", Backoff{Base: 50 * time.Millisecond, Cap: time.Second, Mult: 3}, 5, jitters[5]},
+		{"negative-attempt", Backoff{}, -3, jitters[6]}, // clamped to 0
+	}
+	// Expected = min(cap, base·mult^attempt) × (0.5 + 0.5·jitter),
+	// computed independently of the implementation.
+	raw := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		5 * time.Second,
+		450 * time.Millisecond,
+		time.Second,
+		100 * time.Millisecond,
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.b.Jitter = func() float64 { return tc.jitter }
+			want := time.Duration(float64(raw[i]) * (0.5 + 0.5*tc.jitter))
+			if got := tc.b.Delay(tc.attempt); got != want {
+				t.Errorf("Delay(%d) = %v, want %v (raw %v, jitter %.6f)",
+					tc.attempt, got, want, raw[i], tc.jitter)
+			}
+		})
+	}
+}
+
+// TestBackoffJitterBounds checks every delay stays inside
+// [raw/2, raw) across the whole jitter range, including the endpoints.
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Mult: 2}
+	for _, j := range []float64{0, 0.25, 0.5, 0.999999} {
+		b.Jitter = func() float64 { return j }
+		d := b.Delay(3) // raw 800ms
+		if d < 400*time.Millisecond || d >= 800*time.Millisecond {
+			t.Errorf("jitter %.3f: Delay(3) = %v, want in [400ms, 800ms)", j, d)
+		}
+	}
+}
+
+// TestBackoffSeededSequence pins a full retry schedule drawn through a
+// seeded source, the way the dispatcher consumes it: successive calls
+// must walk the exponential ladder with fresh jitter each step.
+func TestBackoffSeededSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := Backoff{Jitter: rng.Float64}
+	var got []time.Duration
+	for attempt := 0; attempt < 4; attempt++ {
+		got = append(got, b.Delay(attempt))
+	}
+	// Re-derive with an identical source.
+	check := rand.New(rand.NewSource(7))
+	raw := []time.Duration{100, 200, 400, 800} // ms, under the 5s cap
+	for i, r := range raw {
+		want := time.Duration(float64(r*time.Millisecond) * (0.5 + 0.5*check.Float64()))
+		if got[i] != want {
+			t.Errorf("step %d = %v, want %v", i, got[i], want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/spechpc/spechpc-sim/internal/campaign"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+)
+
+// ErrNoWorkers means a job could not be placed: no registered worker is
+// live, or every candidate has already failed this job. The front door
+// maps it to 503 so clients retry later.
+var ErrNoWorkers = errors.New("fleet: no live workers")
+
+// simError is a deterministic job failure reported by a worker (HTTP
+// 422): the simulation itself rejected the spec or failed its checks.
+// Retrying on another worker would reproduce it, so the dispatcher
+// surfaces it unretried.
+type simError struct{ msg string }
+
+func (e *simError) Error() string { return e.msg }
+
+// DispatchStats counts the dispatcher's fleet-facing events; exposed on
+// /statsz so operators can see retries and re-sharding as they happen.
+type DispatchStats struct {
+	Dispatched uint64 `json:"dispatched"` // jobs completed on a worker
+	Retries    uint64 `json:"retries"`    // extra attempts after a failure
+	Resharded  uint64 `json:"resharded"`  // jobs that completed on a non-first-choice worker
+	NoWorkers  uint64 `json:"no_workers"` // placements that found no live candidate
+}
+
+// Dispatcher places jobs on workers: rendezvous-rank the live set for
+// the job's campaign key, call the owner, and on transport or worker
+// failure walk down the failover order with capped exponential backoff,
+// reporting each outcome to the Registry so health state converges.
+// Safe for concurrent use by all scheduler workers at once.
+type Dispatcher struct {
+	Registry *Registry
+	Client   *http.Client // nil means http.DefaultClient
+	Backoff  Backoff
+
+	// MaxAttempts bounds total tries per job (initial + retries); zero
+	// means DefaultMaxAttempts.
+	MaxAttempts int
+	// CallTimeout bounds one worker call; zero means DefaultCallTimeout.
+	// Generous by default: a cold Fig5-scale job is minutes of
+	// simulation, and the heartbeat machinery — not the dispatch timeout
+	// — is the crash detector.
+	CallTimeout time.Duration
+	// Sleep replaces time.Sleep between retries in tests.
+	Sleep func(time.Duration)
+
+	dispatched atomic.Uint64
+	retries    atomic.Uint64
+	resharded  atomic.Uint64
+	noWorkers  atomic.Uint64
+}
+
+// Dispatcher defaults; see the field docs.
+const (
+	DefaultMaxAttempts = 4
+	DefaultCallTimeout = 15 * time.Minute
+)
+
+// NewDispatcher builds a dispatcher over the registry with the default
+// backoff schedule.
+func NewDispatcher(reg *Registry, client *http.Client) *Dispatcher {
+	return &Dispatcher{Registry: reg, Client: client}
+}
+
+// Stats snapshots the dispatch counters.
+func (d *Dispatcher) Stats() DispatchStats {
+	return DispatchStats{
+		Dispatched: d.dispatched.Load(),
+		Retries:    d.retries.Load(),
+		Resharded:  d.resharded.Load(),
+		NoWorkers:  d.noWorkers.Load(),
+	}
+}
+
+// pick chooses the best untried worker for key: the rendezvous-ranked
+// first choice among Alive workers, then — only when every Alive
+// candidate is exhausted — among Suspect ones. Dead workers get
+// nothing.
+func (d *Dispatcher) pick(key string, tried map[string]bool) (Worker, bool) {
+	for _, pool := range [][]Worker{d.Registry.InState(Alive), d.Registry.InState(Suspect)} {
+		var fresh []Worker
+		for _, w := range pool {
+			if !tried[w.ID] {
+				fresh = append(fresh, w)
+			}
+		}
+		if w, ok := Pick(key, fresh); ok {
+			return w, true
+		}
+	}
+	return Worker{}, false
+}
+
+// Run executes one job on the fleet and blocks until it completes,
+// fails deterministically, or placement is exhausted. It is the
+// coordinator scheduler's Runner, so everything upstream of it — the
+// queue, coalescing, the memo, the store — has already filtered this
+// job down to a genuine fleet-wide miss.
+func (d *Dispatcher) Run(rs spec.RunSpec) (spec.RunResult, error) {
+	key := campaign.Key(rs)
+	max := d.MaxAttempts
+	if max <= 0 {
+		max = DefaultMaxAttempts
+	}
+	sleep := d.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+
+	tried := make(map[string]bool)
+	var lastErr error
+	for attempt := 0; attempt < max; attempt++ {
+		w, ok := d.pick(key, tried)
+		if !ok && attempt > 0 {
+			// Every live worker failed this job once; after backoff, let
+			// the survivors have another go — ReportFailure may have
+			// demoted the genuinely dead ones to Dead by now.
+			tried = make(map[string]bool)
+			w, ok = d.pick(key, tried)
+		}
+		if !ok {
+			d.noWorkers.Add(1)
+			if lastErr != nil {
+				return spec.RunResult{}, fmt.Errorf("%w (last failure: %v)", ErrNoWorkers, lastErr)
+			}
+			return spec.RunResult{}, ErrNoWorkers
+		}
+		if attempt > 0 {
+			d.retries.Add(1)
+			sleep(d.Backoff.Delay(attempt - 1))
+		}
+		tried[w.ID] = true
+
+		res, err := d.call(w, rs)
+		if err == nil {
+			d.Registry.ReportSuccess(w.ID)
+			d.dispatched.Add(1)
+			if len(tried) > 1 {
+				d.resharded.Add(1)
+			}
+			return res, nil
+		}
+		var se *simError
+		if errors.As(err, &se) {
+			// Deterministic failure: the job is bad, not the worker.
+			d.Registry.ReportSuccess(w.ID)
+			d.dispatched.Add(1)
+			return spec.RunResult{}, errors.New(se.msg)
+		}
+		d.Registry.ReportFailure(w.ID)
+		lastErr = fmt.Errorf("worker %s: %w", w.ID, err)
+	}
+	return spec.RunResult{}, fmt.Errorf("fleet: job %s failed after %d attempts: %w", key, max, lastErr)
+}
+
+// call performs one dispatch round trip. Any returned error except
+// *simError is retryable on another worker.
+func (d *Dispatcher) call(w Worker, rs spec.RunSpec) (spec.RunResult, error) {
+	client := d.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	timeout := d.CallTimeout
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	body, err := json.Marshal(RunRequest{Spec: rs})
+	if err != nil {
+		return spec.RunResult{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+RunPath, bytes.NewReader(body))
+	if err != nil {
+		return spec.RunResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return spec.RunResult{}, err
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rec campaign.Record
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			return spec.RunResult{}, fmt.Errorf("decoding result: %w", err)
+		}
+		res, ok := rec.Result()
+		if !ok {
+			return spec.RunResult{}, fmt.Errorf("worker returned a malformed record for %s", rec.Key)
+		}
+		return res, nil
+	case http.StatusUnprocessableEntity:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return spec.RunResult{}, &simError{msg: string(bytes.TrimSpace(msg))}
+	default:
+		// 503 (worker draining), 5xx, 404 (not a worker) — all placement
+		// failures worth a different worker.
+		return spec.RunResult{}, fmt.Errorf("worker answered %s", resp.Status)
+	}
+}

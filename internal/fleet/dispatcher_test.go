@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/campaign"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+	"github.com/spechpc/spechpc-sim/internal/trace"
+)
+
+// fakeWorker is an httptest stand-in for a worker's RunPath handler:
+// it answers with a synthetic but well-formed Record (or a scripted
+// failure) and counts the dispatches it received.
+type fakeWorker struct {
+	id    string
+	srv   *httptest.Server
+	calls atomic.Int64
+	fail  atomic.Int32 // 0 = succeed, else the HTTP status to answer
+}
+
+func newFakeWorker(t *testing.T, id string) *fakeWorker {
+	t.Helper()
+	w := &fakeWorker{id: id}
+	w.srv = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != RunPath {
+			http.NotFound(rw, r)
+			return
+		}
+		w.calls.Add(1)
+		if code := int(w.fail.Load()); code != 0 {
+			http.Error(rw, "scripted failure from "+w.id, code)
+			return
+		}
+		var req RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res := spec.RunResult{
+			Spec:   req.Spec,
+			Report: bench.RunReport{StepsModeled: 5, StepsSimulated: 5},
+			Trace:  trace.FromSums(make([][]float64, req.Spec.Ranks)),
+		}
+		json.NewEncoder(rw).Encode(campaign.NewRecord(campaign.Key(req.Spec), res))
+	}))
+	t.Cleanup(w.srv.Close)
+	return w
+}
+
+func (w *fakeWorker) worker() Worker { return Worker{ID: w.id, URL: w.srv.URL} }
+
+func testJob(tag int) spec.RunSpec {
+	return spec.RunSpec{
+		Benchmark: "lbm", Class: bench.Tiny,
+		Cluster: machine.MustGet("ClusterA"), Ranks: 2,
+		Options: bench.Options{SimSteps: tag},
+	}
+}
+
+// newTestDispatcher wires n fake workers into a registry with no-op
+// retry sleeps and generous health thresholds.
+func newTestDispatcher(t *testing.T, n int) (*Dispatcher, []*fakeWorker) {
+	t.Helper()
+	reg := NewRegistry(time.Hour, 2*time.Hour)
+	fakes := make([]*fakeWorker, n)
+	for i := range fakes {
+		fakes[i] = newFakeWorker(t, "w"+string(rune('1'+i)))
+		if err := reg.Register(fakes[i].worker()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDispatcher(reg, nil)
+	d.Sleep = func(time.Duration) {}
+	return d, fakes
+}
+
+// ownerOf returns the fake holding the key's rendezvous ownership.
+func ownerOf(key string, fakes []*fakeWorker) *fakeWorker {
+	ws := make([]Worker, len(fakes))
+	for i, f := range fakes {
+		ws[i] = f.worker()
+	}
+	w, _ := Pick(key, ws)
+	for _, f := range fakes {
+		if f.id == w.ID {
+			return f
+		}
+	}
+	return nil
+}
+
+// TestDispatchToOwner checks a job lands on exactly its rendezvous
+// owner and the record round-trips into a usable result.
+func TestDispatchToOwner(t *testing.T) {
+	d, fakes := newTestDispatcher(t, 3)
+	rs := testJob(1)
+	res, err := d.Run(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.StepsModeled != 5 {
+		t.Errorf("result did not round-trip: %+v", res.Report)
+	}
+	owner := ownerOf(campaign.Key(rs), fakes)
+	for _, f := range fakes {
+		want := int64(0)
+		if f == owner {
+			want = 1
+		}
+		if got := f.calls.Load(); got != want {
+			t.Errorf("worker %s received %d dispatches, want %d", f.id, got, want)
+		}
+	}
+	if st := d.Stats(); st.Dispatched != 1 || st.Retries != 0 || st.Resharded != 0 {
+		t.Errorf("stats = %+v, want one clean dispatch", st)
+	}
+}
+
+// TestFailoverOnWorkerError kills the owner (scripted 500s) and checks
+// the job retries onto a survivor, the registry demotes the failed
+// worker, and the retry/reshard counters record it.
+func TestFailoverOnWorkerError(t *testing.T) {
+	d, fakes := newTestDispatcher(t, 3)
+	rs := testJob(2)
+	owner := ownerOf(campaign.Key(rs), fakes)
+	owner.fail.Store(http.StatusInternalServerError)
+
+	res, err := d.Run(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.StepsModeled != 5 {
+		t.Errorf("failover result malformed: %+v", res.Report)
+	}
+	if got := owner.calls.Load(); got != 1 {
+		t.Errorf("failed owner called %d times, want 1 (no retry on the same worker)", got)
+	}
+	st := d.Stats()
+	if st.Dispatched != 1 || st.Retries != 1 || st.Resharded != 1 {
+		t.Errorf("stats = %+v, want {Dispatched:1 Retries:1 Resharded:1}", st)
+	}
+	if got := stateOf(d.Registry, owner.id); got != Suspect {
+		t.Errorf("failed owner state = %v, want Suspect after one failure", got)
+	}
+}
+
+// TestUnreachableWorkerFailsOver covers the transport-error path (the
+// worker process is gone, not answering 5xx): connection refused must
+// re-shard like any other failure.
+func TestUnreachableWorkerFailsOver(t *testing.T) {
+	d, fakes := newTestDispatcher(t, 3)
+	rs := testJob(3)
+	owner := ownerOf(campaign.Key(rs), fakes)
+	owner.srv.Close() // SIGKILL stand-in
+
+	if _, err := d.Run(rs); err != nil {
+		t.Fatalf("job lost to a dead worker: %v", err)
+	}
+	if st := d.Stats(); st.Retries < 1 || st.Resharded != 1 {
+		t.Errorf("stats = %+v, want at least one retry and one reshard", st)
+	}
+}
+
+// TestSimErrorNotRetried checks a 422 — the worker judged the job
+// deterministically bad — surfaces immediately without burning retries
+// on other workers, and does not poison the worker's health.
+func TestSimErrorNotRetried(t *testing.T) {
+	d, fakes := newTestDispatcher(t, 3)
+	rs := testJob(4)
+	owner := ownerOf(campaign.Key(rs), fakes)
+	owner.fail.Store(http.StatusUnprocessableEntity)
+
+	_, err := d.Run(rs)
+	if err == nil || !strings.Contains(err.Error(), "scripted failure") {
+		t.Fatalf("err = %v, want the worker's 422 body", err)
+	}
+	var total int64
+	for _, f := range fakes {
+		total += f.calls.Load()
+	}
+	if total != 1 {
+		t.Errorf("%d total dispatches for a deterministic failure, want 1", total)
+	}
+	if got := stateOf(d.Registry, owner.id); got != Alive {
+		t.Errorf("422 demoted the worker to %v; it answered correctly and must stay Alive", got)
+	}
+}
+
+// TestNoWorkers checks placement on an empty registry fails fast with
+// ErrNoWorkers and counts it.
+func TestNoWorkers(t *testing.T) {
+	d := NewDispatcher(NewRegistry(time.Hour, 2*time.Hour), nil)
+	d.Sleep = func(time.Duration) {}
+	if _, err := d.Run(testJob(5)); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("empty registry: err = %v, want ErrNoWorkers", err)
+	}
+	if st := d.Stats(); st.NoWorkers != 1 {
+		t.Errorf("stats = %+v, want NoWorkers:1", st)
+	}
+}

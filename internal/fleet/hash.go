@@ -1,0 +1,63 @@
+package fleet
+
+import "hash/fnv"
+
+// Rendezvous (highest-random-weight) hashing assigns each campaign key
+// an owner among the workers: every (key, worker) pair gets a pseudo-
+// random weight and the highest weight wins. Unlike a ring, there is no
+// token state to maintain, placement depends only on the key and the
+// candidate set, and removing a worker moves exactly that worker's keys
+// (each to its second-ranked choice) — the property the dispatcher's
+// retry path leans on when a worker dies mid-campaign.
+
+// weight scores one (key, worker) pair: FNV-64a over the key, a NUL
+// separator (neither side contains one — keys are "v1-"+hex, IDs are
+// flag-supplied tokens), and the worker ID. The worker's stable ID, not
+// its URL, is hashed so a worker restarting on a new port keeps its
+// share of keys.
+func weight(key, workerID string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(workerID))
+	return h.Sum64()
+}
+
+// Rank orders workers by descending preference for the key (weight
+// desc, ID asc on the astronomically unlikely tie). The first element
+// is the key's owner; the rest are the failover order.
+func Rank(key string, workers []Worker) []Worker {
+	out := append([]Worker(nil), workers...)
+	// Insertion sort: candidate sets are a handful of workers, and this
+	// avoids importing sort for a two-key comparison.
+	for i := 1; i < len(out); i++ {
+		w := out[i]
+		ww := weight(key, w.ID)
+		j := i - 1
+		for j >= 0 {
+			wj := weight(key, out[j].ID)
+			if wj > ww || (wj == ww && out[j].ID <= w.ID) {
+				break
+			}
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = w
+	}
+	return out
+}
+
+// Pick returns the key's owner among workers, reporting false for an
+// empty candidate set.
+func Pick(key string, workers []Worker) (Worker, bool) {
+	if len(workers) == 0 {
+		return Worker{}, false
+	}
+	best, bw := workers[0], weight(key, workers[0].ID)
+	for _, w := range workers[1:] {
+		if ww := weight(key, w.ID); ww > bw || (ww == bw && w.ID < best.ID) {
+			best, bw = w, ww
+		}
+	}
+	return best, true
+}

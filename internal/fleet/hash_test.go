@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func workers(ids ...string) []Worker {
+	out := make([]Worker, len(ids))
+	for i, id := range ids {
+		out[i] = Worker{ID: id, URL: "http://" + id}
+	}
+	return out
+}
+
+// TestRendezvousStability is the sharding contract: placement depends
+// only on (key, candidate IDs) — stable across calls, insensitive to
+// candidate order and to worker URLs (a restarted worker on a new port
+// keeps its keys) — and removing one worker moves only that worker's
+// keys.
+func TestRendezvousStability(t *testing.T) {
+	ws := workers("w1", "w2", "w3")
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("v1-%04x", i)
+	}
+
+	owner := make(map[string]string)
+	for _, k := range keys {
+		w, ok := Pick(k, ws)
+		if !ok {
+			t.Fatal("Pick failed with candidates present")
+		}
+		owner[k] = w.ID
+	}
+	// Stable across calls and candidate permutations.
+	perm := workers("w3", "w1", "w2")
+	for _, k := range keys {
+		if w, _ := Pick(k, perm); w.ID != owner[k] {
+			t.Fatalf("key %s: owner %s under permuted candidates, want %s", k, w.ID, owner[k])
+		}
+	}
+	// URL changes must not move keys.
+	moved := workers("w1", "w2", "w3")
+	for i := range moved {
+		moved[i].URL = "http://elsewhere:9"
+	}
+	for _, k := range keys {
+		if w, _ := Pick(k, moved); w.ID != owner[k] {
+			t.Fatalf("key %s moved when worker URLs changed", k)
+		}
+	}
+
+	// Each worker owns a nonempty share (sanity on weight dispersion).
+	share := map[string]int{}
+	for _, id := range owner {
+		share[id]++
+	}
+	for _, w := range ws {
+		if share[w.ID] == 0 {
+			t.Errorf("worker %s owns zero of %d keys", w.ID, len(keys))
+		}
+	}
+
+	// Removing w2: its keys move, everyone else's stay put.
+	survivors := workers("w1", "w3")
+	for _, k := range keys {
+		w, _ := Pick(k, survivors)
+		if owner[k] != "w2" && w.ID != owner[k] {
+			t.Fatalf("key %s moved from %s to %s though its owner survived", k, owner[k], w.ID)
+		}
+		if owner[k] == "w2" && w.ID == "w2" {
+			t.Fatalf("key %s still assigned to removed worker", k)
+		}
+	}
+}
+
+// TestRankOrdersFailover checks Rank agrees with Pick at every prefix:
+// Rank[0] is the owner, and dropping it makes Rank[1] the owner of the
+// remainder — the failover order the dispatcher walks.
+func TestRankOrdersFailover(t *testing.T) {
+	ws := workers("w1", "w2", "w3", "w4")
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("v1-%04x", i)
+		ranked := Rank(key, ws)
+		if len(ranked) != len(ws) {
+			t.Fatalf("Rank returned %d workers, want %d", len(ranked), len(ws))
+		}
+		remaining := append([]Worker(nil), ws...)
+		for _, want := range ranked {
+			got, ok := Pick(key, remaining)
+			if !ok || got.ID != want.ID {
+				t.Fatalf("key %s: rank order disagrees with iterated Pick", key)
+			}
+			next := remaining[:0]
+			for _, w := range remaining {
+				if w.ID != got.ID {
+					next = append(next, w)
+				}
+			}
+			remaining = next
+		}
+	}
+	if _, ok := Pick("v1-00", nil); ok {
+		t.Error("Pick reported an owner among zero candidates")
+	}
+}

@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced time source for boundary-exact registry
+// tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1_700_000_000, 0)} }
+func stateOf(r *Registry, id string) State {
+	for _, ws := range r.Snapshot() {
+		if ws.ID == id {
+			return ws.State
+		}
+	}
+	return Dead
+}
+
+// TestHeartbeatStateBoundaries drives one worker through the
+// suspect→dead state machine with a fake clock, pinning the transitions
+// at exact interval boundaries: the worker is Alive strictly below
+// SuspectAfter, Suspect at and beyond it, and Dead at DeadAfter.
+func TestHeartbeatStateBoundaries(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(3*time.Second, 10*time.Second)
+	r.SetClock(clk.Now)
+	if err := r.Register(Worker{ID: "w1", URL: "http://w1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	steps := []struct {
+		advance time.Duration
+		want    State
+	}{
+		{0, Alive},
+		{3*time.Second - time.Nanosecond, Alive}, // strictly below the boundary
+		{time.Nanosecond, Suspect},               // exactly SuspectAfter
+		{7*time.Second - time.Nanosecond, Suspect},
+		{time.Nanosecond, Dead}, // exactly DeadAfter
+		{time.Hour, Dead},
+	}
+	for i, s := range steps {
+		clk.Advance(s.advance)
+		if got := stateOf(r, "w1"); got != s.want {
+			t.Fatalf("step %d (t=+%v): state = %v, want %v", i, clk.now.Sub(time.Unix(1_700_000_000, 0)), got, s.want)
+		}
+	}
+
+	// A heartbeat resurrects even a Dead worker.
+	if !r.Heartbeat("w1") {
+		t.Fatal("heartbeat for a registered worker reported unknown")
+	}
+	if got := stateOf(r, "w1"); got != Alive {
+		t.Errorf("state after heartbeat = %v, want Alive", got)
+	}
+	if r.Heartbeat("ghost") {
+		t.Error("heartbeat for an unregistered worker reported known")
+	}
+}
+
+// TestDispatchFailuresDriveState checks the failure-count half of the
+// state machine: one failed dispatch makes a worker Suspect, a second
+// makes it Dead, and a success (or re-registration) clears it.
+func TestDispatchFailuresDriveState(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(3*time.Second, 10*time.Second)
+	r.SetClock(clk.Now)
+	r.Register(Worker{ID: "w1", URL: "http://w1"})
+
+	r.ReportFailure("w1")
+	if got := stateOf(r, "w1"); got != Suspect {
+		t.Fatalf("after 1 failure: %v, want Suspect", got)
+	}
+	r.ReportFailure("w1")
+	if got := stateOf(r, "w1"); got != Dead {
+		t.Fatalf("after 2 failures: %v, want Dead", got)
+	}
+	// Heartbeats alone do not clear dispatch failures: the process is up
+	// but dispatches to it still fail.
+	r.Heartbeat("w1")
+	if got := stateOf(r, "w1"); got != Dead {
+		t.Fatalf("heartbeat cleared dispatch failures: %v, want still Dead", got)
+	}
+	r.ReportSuccess("w1")
+	if got := stateOf(r, "w1"); got != Alive {
+		t.Fatalf("after success: %v, want Alive", got)
+	}
+
+	r.ReportFailure("w1")
+	r.ReportFailure("w1")
+	if err := r.Register(Worker{ID: "w1", URL: "http://w1-restarted"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := stateOf(r, "w1"); got != Alive {
+		t.Errorf("re-registration did not clear failures: %v, want Alive", got)
+	}
+}
+
+// TestRegistryCountsAndPools covers the aggregate views the dispatcher
+// and /statsz read: Counts, InState, and Snapshot ordering.
+func TestRegistryCountsAndPools(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(3*time.Second, 10*time.Second)
+	r.SetClock(clk.Now)
+	r.Register(Worker{ID: "w2", URL: "http://w2"})
+	r.Register(Worker{ID: "w1", URL: "http://w1"})
+	r.Register(Worker{ID: "w3", URL: "http://w3"})
+
+	clk.Advance(4 * time.Second) // all would be suspect…
+	r.Heartbeat("w1")            // …but w1 heartbeats…
+	r.ReportFailure("w3")
+	r.ReportFailure("w3") // …and w3 is dead on failures.
+
+	alive, suspect, dead := r.Counts()
+	if alive != 1 || suspect != 1 || dead != 1 {
+		t.Errorf("Counts = %d/%d/%d, want 1/1/1", alive, suspect, dead)
+	}
+	if ws := r.InState(Alive); len(ws) != 1 || ws[0].ID != "w1" {
+		t.Errorf("InState(Alive) = %v, want [w1]", ws)
+	}
+	if ws := r.InState(Suspect); len(ws) != 1 || ws[0].ID != "w2" {
+		t.Errorf("InState(Suspect) = %v, want [w2]", ws)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].ID != "w1" || snap[1].ID != "w2" || snap[2].ID != "w3" {
+		t.Errorf("Snapshot not ID-sorted: %v", snap)
+	}
+	if snap[2].Fails != 2 || snap[2].State != Dead {
+		t.Errorf("w3 snapshot = %+v, want 2 fails, dead", snap[2])
+	}
+
+	if err := r.Register(Worker{ID: "", URL: "http://x"}); err == nil {
+		t.Error("register accepted an empty worker ID")
+	}
+}

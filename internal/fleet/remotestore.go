@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/spechpc/spechpc-sim/internal/campaign"
+)
+
+// RemoteStore implements campaign.Store over the coordinator's
+// /api/v1/fleet/store/ routes, so results a worker simulates land in
+// the fleet-wide store and every process's scheduler sees every other
+// process's results. Content-addressed keys make the protocol trivial:
+// GET is a blob read (404 is a miss, never an error), PUT is an
+// idempotent blob write (records under one key are interchangeable by
+// construction, so last-write-wins collisions are harmless).
+type RemoteStore struct {
+	Base     string       // coordinator base URL
+	Client   *http.Client // nil means http.DefaultClient
+	WorkerID string       // sent as WorkerHeader for attribution, may be empty
+}
+
+var _ campaign.Store = (*RemoteStore)(nil)
+
+func (s *RemoteStore) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+// Get fetches the record under key from the coordinator.
+func (s *RemoteStore) Get(key string) (campaign.Record, bool, error) {
+	req, err := http.NewRequest(http.MethodGet, s.Base+StorePathPrefix+key, nil)
+	if err != nil {
+		return campaign.Record{}, false, err
+	}
+	if s.WorkerID != "" {
+		req.Header.Set(WorkerHeader, s.WorkerID)
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return campaign.Record{}, false, fmt.Errorf("fleet: store get %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var rec campaign.Record
+		if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+			return campaign.Record{}, false, fmt.Errorf("fleet: store get %s: %w", key, err)
+		}
+		if rec.Key != key {
+			return campaign.Record{}, false, fmt.Errorf("fleet: store entry %s carries key %s", key, rec.Key)
+		}
+		return rec, true, nil
+	case http.StatusNotFound:
+		return campaign.Record{}, false, nil
+	default:
+		return campaign.Record{}, false, fmt.Errorf("fleet: store get %s: coordinator answered %s", key, resp.Status)
+	}
+}
+
+// Put writes the record under key to the coordinator.
+func (s *RemoteStore) Put(key string, rec campaign.Record) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleet: store put %s: %w", key, err)
+	}
+	req, err := http.NewRequest(http.MethodPut, s.Base+StorePathPrefix+key, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if s.WorkerID != "" {
+		req.Header.Set(WorkerHeader, s.WorkerID)
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: store put %s: %w", key, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("fleet: store put %s: coordinator answered %s", key, resp.Status)
+	}
+	return nil
+}
+
+// Tiered layers a local store in front of a remote one: reads try the
+// local tier first and backfill it on remote hits; writes go to both,
+// and only the remote write — the fleet-visible one — can fail the Put.
+// A worker with a Tiered{DirStore, RemoteStore} keeps serving warm keys
+// through coordinator outages while still publishing fresh results.
+type Tiered struct {
+	Local  campaign.Store
+	Remote campaign.Store
+}
+
+var _ campaign.Store = (*Tiered)(nil)
+
+// Get reads local-first with remote fallback and local backfill. A
+// local fault falls through to the remote tier rather than surfacing —
+// the remote copy is authoritative and the local one self-heals.
+func (s *Tiered) Get(key string) (campaign.Record, bool, error) {
+	if rec, ok, err := s.Local.Get(key); err == nil && ok {
+		return rec, true, nil
+	}
+	rec, ok, err := s.Remote.Get(key)
+	if err != nil || !ok {
+		return campaign.Record{}, false, err
+	}
+	s.Local.Put(key, rec) // best-effort backfill
+	return rec, true, nil
+}
+
+// Put writes through both tiers; the local write is best-effort.
+func (s *Tiered) Put(key string, rec campaign.Record) error {
+	s.Local.Put(key, rec)
+	return s.Remote.Put(key, rec)
+}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/spechpc/spechpc-sim/internal/campaign"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+	"github.com/spechpc/spechpc-sim/internal/trace"
+)
+
+// memStore is an in-memory campaign.Store for tier tests.
+type memStore struct {
+	mu   sync.Mutex
+	m    map[string]campaign.Record
+	puts int
+}
+
+func newMemStore() *memStore { return &memStore{m: make(map[string]campaign.Record)} }
+
+func (s *memStore) Get(key string) (campaign.Record, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.m[key]
+	return rec, ok, nil
+}
+
+func (s *memStore) Put(key string, rec campaign.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = rec
+	s.puts++
+	return nil
+}
+
+// newStoreServer serves the fleet store protocol from a memStore, the
+// way the coordinator's service does.
+func newStoreServer(t *testing.T, backing *memStore) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, StorePathPrefix)
+		switch r.Method {
+		case http.MethodGet:
+			rec, ok, _ := backing.Get(key)
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			json.NewEncoder(w).Encode(rec)
+		case http.MethodPut:
+			var rec campaign.Record
+			if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			backing.Put(key, rec)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func sampleRecord(tag int) (string, campaign.Record) {
+	rs := testJob(tag)
+	key := campaign.Key(rs)
+	res := spec.RunResult{Spec: rs, Trace: trace.FromSums(make([][]float64, rs.Ranks))}
+	return key, campaign.NewRecord(key, res)
+}
+
+// TestRemoteStoreRoundTrip exercises the HTTP store against a protocol
+// stub: miss, put, hit, and the key-mismatch guard.
+func TestRemoteStoreRoundTrip(t *testing.T) {
+	backing := newMemStore()
+	srv := newStoreServer(t, backing)
+	rs := &RemoteStore{Base: srv.URL, WorkerID: "w1"}
+
+	key, rec := sampleRecord(1)
+	if _, ok, err := rs.Get(key); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if err := rs.Put(key, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := rs.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("after put: ok=%v err=%v", ok, err)
+	}
+	if got.Key != key || got.Bench != rec.Bench {
+		t.Errorf("record did not round-trip: %+v", got)
+	}
+	if _, ok := got.Result(); !ok {
+		t.Error("round-tripped record unusable as a result")
+	}
+
+	// A server bug pairing the wrong record with a key must not
+	// propagate silently.
+	backing.m[key] = campaign.Record{Format: 1, Key: "v1-other"}
+	if _, _, err := rs.Get(key); err == nil {
+		t.Error("key-mismatched record served without error")
+	}
+}
+
+// TestTieredStore pins the two-tier read/write contract: local-first
+// reads, remote-hit backfill into the local tier, and write-through on
+// Put.
+func TestTieredStore(t *testing.T) {
+	local, remote := newMemStore(), newMemStore()
+	st := &Tiered{Local: local, Remote: remote}
+	key, rec := sampleRecord(2)
+
+	// Remote-only record: served, then backfilled locally.
+	remote.Put(key, rec)
+	remote.puts = 0
+	if _, ok, err := st.Get(key); !ok || err != nil {
+		t.Fatalf("remote-tier record not served: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := local.Get(key); !ok {
+		t.Error("remote hit not backfilled into the local tier")
+	}
+	// Warm local tier answers without touching remote state.
+	if _, ok, _ := st.Get(key); !ok {
+		t.Error("local-tier record not served")
+	}
+
+	key2, rec2 := sampleRecord(3)
+	if err := st.Put(key2, rec2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := local.Get(key2); !ok {
+		t.Error("Put skipped the local tier")
+	}
+	if _, ok, _ := remote.Get(key2); !ok {
+		t.Error("Put skipped the remote tier")
+	}
+}

@@ -1,0 +1,417 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
+	"github.com/spechpc/spechpc-sim/internal/campaign"
+	"github.com/spechpc/spechpc-sim/internal/fleet"
+	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
+	"github.com/spechpc/spechpc-sim/internal/spec"
+	"github.com/spechpc/spechpc-sim/internal/surrogate"
+	"github.com/spechpc/spechpc-sim/internal/trace"
+)
+
+// Gate kernel for saturating the scheduler queue deterministically:
+// each svc-fleet-gate execution blocks on svcGate until the test
+// releases it.
+var (
+	svcGate    chan struct{}
+	svcStarted atomic.Int64
+)
+
+func init() {
+	bench.Register(&bench.Benchmark{
+		ID:   94,
+		Name: "svc-fleet-gate",
+		Run: func(r *mpi.Rank, c bench.Class, o bench.Options) (bench.RunReport, error) {
+			svcStarted.Add(1)
+			<-svcGate
+			r.Compute(machine.Phase{Name: "gate", FlopsSIMD: 1e6, BytesMem: 1e4})
+			rep := bench.RunReport{StepsModeled: 1, StepsSimulated: 1}
+			if r.ID() == 0 {
+				rep.Checks = []bench.Check{{Name: "synthetic", Value: 0, OK: true}}
+			}
+			return rep, nil
+		},
+	})
+}
+
+// postJSON sends one JSON request with optional headers and decodes the
+// response.
+func postJSON(t *testing.T, url, body string, headers map[string]string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp
+}
+
+// TestReadyzLifecycle walks the readiness probe through a standalone
+// server's life: ready while serving, unready (but still live) once
+// draining begins.
+func TestReadyzLifecycle(t *testing.T) {
+	srv, ts, _ := newTestServer(t, nil)
+
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/readyz", "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while serving = %d, want 200", resp.StatusCode)
+	}
+	srv.Close() // drain
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/readyz", "", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/healthz", "", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining = %d; liveness must outlast readiness", resp.StatusCode)
+	}
+}
+
+// TestReadyzCoordinatorNeedsWorkers pins coordinator readiness to the
+// worker pool: a coordinator with no live workers cannot serve fresh
+// simulations, so it reports unready until one registers — httptest
+// covering the startup window before the fleet has joined.
+func TestReadyzCoordinatorNeedsWorkers(t *testing.T) {
+	sched := campaign.NewScheduler(2, nil)
+	coord := fleet.NewCoordinator(fleet.NewRegistry(time.Hour, 2*time.Hour), nil)
+	srv := New(sched, Options{Quick: true, ArtifactDir: t.TempDir(), Fleet: coord})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); sched.Close() })
+
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/readyz", "", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("workerless coordinator readyz = %d, want 503", resp.StatusCode)
+	}
+	// Registration over the wire flips readiness.
+	resp := postJSON(t, ts.URL+fleet.RegisterPath,
+		`{"worker":{"id":"w1","url":"http://127.0.0.1:1"}}`, nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register = %d, want 200", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodGet, ts.URL+"/readyz", "", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("coordinator readyz with a live worker = %d, want 200", resp.StatusCode)
+	}
+
+	// Heartbeat round trip, known and unknown.
+	if resp := postJSON(t, ts.URL+fleet.HeartbeatPath, `{"id":"w1"}`, nil, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("heartbeat for registered worker = %d, want 200", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+fleet.HeartbeatPath, `{"id":"ghost"}`, nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("heartbeat for unknown worker = %d, want 404 (re-register signal)", resp.StatusCode)
+	}
+	var workers []fleet.WorkerStatus
+	doJSON(t, http.MethodGet, ts.URL+fleet.WorkersPath, "", &workers)
+	if len(workers) != 1 || workers[0].ID != "w1" || workers[0].State != fleet.Alive {
+		t.Errorf("workers snapshot = %+v, want [w1 alive]", workers)
+	}
+
+	var stats statszResponse
+	doJSON(t, http.MethodGet, ts.URL+"/statsz", "", &stats)
+	if stats.Fleet == nil || stats.Fleet.WorkersAlive != 1 {
+		t.Errorf("statsz fleet block = %+v, want 1 alive worker", stats.Fleet)
+	}
+}
+
+// TestFleetEndpointsAbsentStandalone checks the coordinator-only routes
+// answer 404 on a standalone daemon.
+func TestFleetEndpointsAbsentStandalone(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+	if resp := postJSON(t, ts.URL+fleet.RegisterPath,
+		`{"worker":{"id":"w1","url":"http://x"}}`, nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("register on standalone = %d, want 404", resp.StatusCode)
+	}
+	if resp := doJSON(t, http.MethodGet, ts.URL+fleet.WorkersPath, "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("workers on standalone = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFleetRunEndpoint dispatches one job to a worker-shaped server the
+// way a coordinator would and checks the record round-trips into a
+// result; then the error contract: KeepTrace is 400, a deterministic
+// simulation failure is 422, and a draining worker answers 503.
+func TestFleetRunEndpoint(t *testing.T) {
+	srv, ts, _ := newTestServer(t, nil)
+
+	rs := spec.RunSpec{
+		Benchmark: "tealeaf", Class: bench.Tiny,
+		Cluster: machine.MustGet("ClusterA"), Ranks: 2,
+		Options: bench.Options{SimSteps: 1},
+	}
+	body, _ := json.Marshal(fleet.RunRequest{Spec: rs})
+	var rec campaign.Record
+	if resp := postJSON(t, ts.URL+fleet.RunPath, string(body), nil, &rec); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet run = %d, want 200", resp.StatusCode)
+	}
+	res, ok := rec.Result()
+	if !ok {
+		t.Fatalf("dispatched record unusable: %+v", rec)
+	}
+	if res.Usage.Wall <= 0 || res.Spec.Benchmark != "tealeaf" {
+		t.Errorf("dispatched result malformed: %+v", res.Usage)
+	}
+
+	traced := rs
+	traced.KeepTrace = true
+	body, _ = json.Marshal(fleet.RunRequest{Spec: traced})
+	if resp := postJSON(t, ts.URL+fleet.RunPath, string(body), nil, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("KeepTrace dispatch = %d, want 400", resp.StatusCode)
+	}
+
+	bad := rs
+	bad.Benchmark = "no-such-kernel"
+	body, _ = json.Marshal(fleet.RunRequest{Spec: bad})
+	if resp := postJSON(t, ts.URL+fleet.RunPath, string(body), nil, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("deterministically failing dispatch = %d, want 422", resp.StatusCode)
+	}
+
+	srv.Close()
+	body, _ = json.Marshal(fleet.RunRequest{Spec: rs})
+	if resp := postJSON(t, ts.URL+fleet.RunPath, string(body), nil, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("dispatch to draining worker = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestFleetStoreEndpoints round-trips a record through the shared-store
+// routes using the production RemoteStore client against a
+// DirStore-backed server.
+func TestFleetStoreEndpoints(t *testing.T) {
+	st, err := campaign.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, _ := newTestServer(t, st)
+	remote := &fleet.RemoteStore{Base: ts.URL, WorkerID: "w-test"}
+
+	rs := spec.RunSpec{
+		Benchmark: "tealeaf", Class: bench.Tiny,
+		Cluster: machine.MustGet("ClusterA"), Ranks: 1,
+		Options: bench.Options{SimSteps: 1},
+	}
+	key := campaign.Key(rs)
+	if _, ok, err := remote.Get(key); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v, want clean miss", ok, err)
+	}
+	rec := campaign.NewRecord(key, spec.RunResult{Spec: rs, Trace: trace.FromSums(make([][]float64, 1))})
+	if err := remote.Put(key, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := remote.Get(key)
+	if err != nil || !ok || got.Key != key {
+		t.Fatalf("after put: ok=%v err=%v key=%s", ok, err, got.Key)
+	}
+	// The record landed in the server's DirStore, not some side cache.
+	if _, ok, _ := st.Get(key); !ok {
+		t.Error("record not visible in the backing DirStore")
+	}
+	// Key mismatch between URL and body is rejected.
+	if err := remote.Put("v1-doesnotmatch", rec); err == nil {
+		t.Error("mismatched put accepted")
+	}
+}
+
+// TestRateLimit429 hits the front door over its per-client budget and
+// checks the shed shape: 429, a Retry-After hint in whole seconds, and
+// isolation between clients. /statsz must count the sheds.
+func TestRateLimit429(t *testing.T) {
+	sched := campaign.NewScheduler(4, nil)
+	srv := New(sched, Options{
+		Quick: true, ArtifactDir: t.TempDir(),
+		Admission: fleet.AdmissionConfig{RatePerClient: 1, Burst: 3},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close(); sched.Close() })
+
+	job := `{"benchmark":"tealeaf","cluster":"A","class":"tiny","ranks":1,"sim_steps":1}`
+	alice := map[string]string{"X-Client-ID": "alice"}
+	for i := 0; i < 3; i++ {
+		if resp := postJSON(t, ts.URL+"/api/v1/jobs", job, alice, nil); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("burst submit %d = %d, want 202", i, resp.StatusCode)
+		}
+	}
+	resp := postJSON(t, ts.URL+"/api/v1/jobs", job, alice, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive whole-second hint", ra)
+	}
+	// Scenario submissions share the same gate.
+	if resp := postJSON(t, ts.URL+"/api/v1/scenarios", `{"name":"x"}`, alice, nil); resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("scenario over budget = %d, want 429", resp.StatusCode)
+	}
+	// Another client's bucket is untouched.
+	if resp := postJSON(t, ts.URL+"/api/v1/jobs", job,
+		map[string]string{"X-Client-ID": "bob"}, nil); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("other client shed alongside: %d", resp.StatusCode)
+	}
+
+	var stats statszResponse
+	doJSON(t, http.MethodGet, ts.URL+"/statsz", "", &stats)
+	if stats.Admission.RateLimited != 2 || stats.Admission.Admitted != 4 {
+		t.Errorf("admission stats = %+v, want 4 admitted / 2 rate-limited", stats.Admission)
+	}
+}
+
+// TestQueueShedAndPriorityLane saturates a 1-worker scheduler with
+// gated jobs and checks the lanes: bulk (priority 0) submissions shed
+// at half the queue bound while an interactive (priority 1) one still
+// passes, and the shed carries Retry-After.
+func TestQueueShedAndPriorityLane(t *testing.T) {
+	svcGate = make(chan struct{})
+	svcStarted.Store(0)
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(svcGate)
+		}
+	}
+	defer release()
+
+	sched := campaign.NewScheduler(1, nil)
+	srv := New(sched, Options{
+		Quick: true, ArtifactDir: t.TempDir(),
+		Admission: fleet.AdmissionConfig{MaxQueue: 4}, // bulk lane = 2
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { release(); ts.Close(); srv.Close(); sched.Close() })
+
+	gateJob := func(tag int) string {
+		return `{"benchmark":"svc-fleet-gate","cluster":"A","class":"tiny","ranks":1,"sim_steps":` +
+			string(rune('0'+tag)) + `}`
+	}
+	// First job occupies the only worker; two more fill the bulk lane.
+	if resp := postJSON(t, ts.URL+"/api/v1/jobs", gateJob(1), nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pin job = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svcStarted.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 2; i <= 3; i++ {
+		if resp := postJSON(t, ts.URL+"/api/v1/jobs", gateJob(i), nil, nil); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queue fill job %d = %d", i, resp.StatusCode)
+		}
+	}
+	// Bulk lane (2) is full: priority 0 sheds, priority 1 passes.
+	resp := postJSON(t, ts.URL+"/api/v1/jobs", gateJob(4), nil, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("bulk submit at full bulk lane = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue shed lacks Retry-After")
+	}
+	pri := `{"benchmark":"svc-fleet-gate","cluster":"A","class":"tiny","ranks":1,"sim_steps":9,"priority":1}`
+	if resp := postJSON(t, ts.URL+"/api/v1/jobs", pri, nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("interactive submit in the priority lane = %d, want 202", resp.StatusCode)
+	}
+	release()
+}
+
+// TestDegradedModeAnswersFromSurrogate saturates the exact queue on a
+// degraded-mode server and checks the fallback split: an in-hull query
+// is answered by the surrogate (202, X-Degraded header, bound
+// attached, no queue growth) while an out-of-hull query — which the
+// surrogate refuses — sheds with 429. /statsz counts both.
+func TestDegradedModeAnswersFromSurrogate(t *testing.T) {
+	svcGate = make(chan struct{})
+	svcStarted.Store(0)
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(svcGate)
+		}
+	}
+	defer release()
+
+	// Fit tealeaf/ClusterA over the standard grid, as mode_test does.
+	results, err := spec.Sweep(spec.RunSpec{
+		Benchmark: "tealeaf", Class: bench.Tiny,
+		Cluster: machine.MustGet("ClusterA"),
+		Options: bench.Options{SimSteps: 1},
+	}, fitRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := surrogate.NewIndex()
+	idx.MaxBound = 10
+	for _, res := range results {
+		idx.Observe(res)
+	}
+
+	sched := campaign.NewScheduler(1, nil)
+	srv := New(sched, Options{
+		Quick: true, ArtifactDir: t.TempDir(),
+		Surrogate: idx, Degraded: true,
+		Admission: fleet.AdmissionConfig{MaxQueue: 1},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { release(); ts.Close(); srv.Close(); sched.Close() })
+
+	// Saturate: one gated job running, one queued (depth 1 = MaxQueue).
+	gate := `{"benchmark":"svc-fleet-gate","cluster":"A","class":"tiny","ranks":1,"sim_steps":1,"priority":1}`
+	if resp := postJSON(t, ts.URL+"/api/v1/jobs", gate, nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pin job = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svcStarted.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gate2 := `{"benchmark":"svc-fleet-gate","cluster":"A","class":"tiny","ranks":1,"sim_steps":2,"priority":1}`
+	if resp := postJSON(t, ts.URL+"/api/v1/jobs", gate2, nil, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue fill = %d", resp.StatusCode)
+	}
+
+	// In-hull exact query under saturation: degraded to the surrogate.
+	var sub jobStatus
+	inHull := `{"benchmark":"tealeaf","cluster":"A","class":"tiny","ranks":8,"sim_steps":1,"priority":1}`
+	resp := postJSON(t, ts.URL+"/api/v1/jobs", inHull, nil, &sub)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("degradable submit = %d, want 202", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Degraded") != "surrogate" {
+		t.Error("degraded answer lacks the X-Degraded marker")
+	}
+	st := waitState(t, ts.URL+"/api/v1/jobs/"+sub.ID)
+	if st.State != "done" || st.Surrogate == nil || st.Surrogate.Bound <= 0 {
+		t.Fatalf("degraded job = %s surrogate=%+v, want done with a bound", st.State, st.Surrogate)
+	}
+
+	// Out-of-hull: the surrogate refuses to extrapolate, so the
+	// saturated front door sheds instead.
+	outHull := `{"benchmark":"tealeaf","cluster":"A","class":"tiny","ranks":60,"sim_steps":1,"priority":1}`
+	if resp := postJSON(t, ts.URL+"/api/v1/jobs", outHull, nil, nil); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("undegradable submit = %d, want 429", resp.StatusCode)
+	}
+
+	var stats statszResponse
+	doJSON(t, http.MethodGet, ts.URL+"/statsz", "", &stats)
+	if stats.Admission.Degraded != 1 || stats.Admission.QueueShed != 1 {
+		t.Errorf("admission stats = %+v, want 1 degraded / 1 queue-shed", stats.Admission)
+	}
+	release()
+}

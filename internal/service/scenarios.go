@@ -164,6 +164,12 @@ func (s *Server) handleSubmitScenario(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
+	// Scenarios are bulk load (priority 0) and expand to whole sweeps,
+	// so they hit the tighter bulk lane and never degrade: a partially
+	// surrogate-answered figure would be misleading.
+	if _, ok := s.admit(w, r, 0, false); !ok {
+		return
+	}
 	s.mu.Lock()
 	s.nextRun++
 	id := fmt.Sprintf("s-%d", s.nextRun)
@@ -352,6 +358,9 @@ func (s *Server) handleScenarioArtifact(w http.ResponseWriter, r *http.Request) 
 // cancellations drop the runs' queued jobs, so renderers blocked on
 // them fail fast instead of riding out the whole queue.
 func (s *Server) Close() {
+	// Unready first: /readyz flips before any work is cancelled, so a
+	// load balancer stops routing here while the drain proceeds.
+	s.draining.Store(true)
 	s.mu.Lock()
 	runs := make([]*scenarioRun, 0, len(s.runs))
 	for _, run := range s.runs {

@@ -12,9 +12,17 @@
 // restarts, so a repeated query costs a disk read. cmd/spechpcd is the
 // daemon front end.
 //
+// With a fleet.Coordinator attached (Options.Fleet) the same server is
+// the fleet front door: submissions shard across registered workers by
+// campaign key, and the /api/v1/fleet/* routes carry the membership,
+// dispatch, and shared-store protocol (see docs/FLEET.md). Admission
+// control (Options.Admission) gates the public submission routes with
+// per-client token buckets and queue-depth shedding.
+//
 // Endpoints (all under the mux returned by Handler):
 //
 //	GET    /healthz                       liveness probe
+//	GET    /readyz                        readiness probe (store+scheduler+workers)
 //	GET    /statsz                        scheduler + store counters
 //	GET    /api/v1/benchmarks             registered kernels
 //	GET    /api/v1/clusters               registered clusters
@@ -30,6 +38,12 @@
 //	GET    /api/v1/scenarios/{id}/output  rendered plots/tables (streams)
 //	GET    /api/v1/scenarios/{id}/artifacts        CSV artifact list
 //	GET    /api/v1/scenarios/{id}/artifacts/{name} one CSV artifact
+//	POST   /api/v1/fleet/run              execute one dispatched job (worker)
+//	POST   /api/v1/fleet/register         enrol a worker (coordinator)
+//	POST   /api/v1/fleet/heartbeat        refresh worker liveness (coordinator)
+//	GET    /api/v1/fleet/workers          worker health snapshot (coordinator)
+//	GET    /api/v1/fleet/store/{key}      read one shared-store record
+//	PUT    /api/v1/fleet/store/{key}      write one shared-store record
 package service
 
 import (
@@ -39,11 +53,13 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/spechpc/spechpc-sim/internal/benchmarks/bench"
 	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite" // register all kernels
 	"github.com/spechpc/spechpc-sim/internal/campaign"
+	"github.com/spechpc/spechpc-sim/internal/fleet"
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/scenario"
 	"github.com/spechpc/spechpc-sim/internal/surrogate"
@@ -65,6 +81,18 @@ type Options struct {
 	// submissions may be answered from its fitted models, and /statsz
 	// gains a surrogate block. Nil serves every query exactly.
 	Surrogate *surrogate.Index
+	// Fleet makes this server a coordinator: the scheduler's runner is
+	// replaced by the coordinator's dispatcher (fresh simulations run on
+	// registered workers, not in process), the fleet membership routes
+	// come alive, and /readyz requires at least one non-dead worker.
+	Fleet *fleet.Coordinator
+	// Admission tunes the front-door gate on the public submission
+	// routes; the zero value admits everything.
+	Admission fleet.AdmissionConfig
+	// Degraded lets saturation-time job submissions fall back to the
+	// surrogate fast tier (mode=fast with an error bound) instead of
+	// being shed — only effective with a Surrogate attached.
+	Degraded bool
 }
 
 // Server serves the campaign scheduler over HTTP. Construct with New;
@@ -87,6 +115,11 @@ type Server struct {
 	// per storeStatsTTL.
 	storeStats   *statszStore
 	storeStatsAt time.Time
+
+	admission *fleet.Admission
+	// draining flips first in Close: /readyz goes unready and dispatched
+	// fleet jobs are refused while in-flight work still completes.
+	draining atomic.Bool
 }
 
 // New wraps a scheduler in a Server. The scheduler may be shared with
@@ -95,12 +128,16 @@ func New(sched *campaign.Scheduler, opts Options) *Server {
 	if opts.Surrogate != nil {
 		sched.SetPredictor(opts.Surrogate)
 	}
+	if opts.Fleet != nil {
+		sched.SetRunner(opts.Fleet.Runner())
+	}
 	return &Server{
-		sched:  sched,
-		engine: campaign.NewWithScheduler(sched),
-		opts:   opts,
-		jobs:   map[string]*jobSub{},
-		runs:   map[string]*scenarioRun{},
+		sched:     sched,
+		engine:    campaign.NewWithScheduler(sched),
+		opts:      opts,
+		jobs:      map[string]*jobSub{},
+		runs:      map[string]*scenarioRun{},
+		admission: fleet.NewAdmission(opts.Admission),
 	}
 }
 
@@ -166,6 +203,7 @@ func (s *Server) evictRunsLocked() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	mux.HandleFunc("GET /api/v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /api/v1/clusters", s.handleClusters)
@@ -181,6 +219,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/scenarios/{id}/output", s.handleScenarioOutput)
 	mux.HandleFunc("GET /api/v1/scenarios/{id}/artifacts", s.handleScenarioArtifacts)
 	mux.HandleFunc("GET /api/v1/scenarios/{id}/artifacts/{name}", s.handleScenarioArtifact)
+	mux.HandleFunc("POST "+fleet.RunPath, s.handleFleetRun)
+	mux.HandleFunc("POST "+fleet.RegisterPath, s.handleFleetRegister)
+	mux.HandleFunc("POST "+fleet.HeartbeatPath, s.handleFleetHeartbeat)
+	mux.HandleFunc("GET "+fleet.WorkersPath, s.handleFleetWorkers)
+	mux.HandleFunc("GET "+fleet.StorePathPrefix+"{key}", s.handleFleetStoreGet)
+	mux.HandleFunc("PUT "+fleet.StorePathPrefix+"{key}", s.handleFleetStorePut)
 	return mux
 }
 
@@ -228,6 +272,23 @@ type statszResponse struct {
 	// Surrogate is present when an analytic surrogate index is attached
 	// (Options.Surrogate).
 	Surrogate *statszSurrogate `json:"surrogate,omitempty"`
+	// Admission counts front-door outcomes (always present; all zero
+	// with the gate disabled).
+	Admission fleet.AdmissionStats `json:"admission"`
+	// Fleet is present in coordinator mode: worker health plus dispatch
+	// retry/reshard counters.
+	Fleet *statszFleet `json:"fleet,omitempty"`
+}
+
+// statszFleet is the coordinator's worker-health and dispatch view.
+type statszFleet struct {
+	WorkersAlive   int    `json:"workers_alive"`
+	WorkersSuspect int    `json:"workers_suspect"`
+	WorkersDead    int    `json:"workers_dead"`
+	Dispatched     uint64 `json:"dispatched"`
+	Retries        uint64 `json:"retries"`
+	Resharded      uint64 `json:"resharded"`
+	NoWorkers      uint64 `json:"no_workers"`
 }
 
 type statszCampaign struct {
@@ -288,6 +349,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Scenarios:  runs,
 	}
 	resp.Store = s.storeUsage()
+	resp.Admission = s.admission.Stats()
+	if c := s.opts.Fleet; c != nil {
+		alive, suspect, dead := c.Registry.Counts()
+		ds := c.Dispatcher.Stats()
+		resp.Fleet = &statszFleet{
+			WorkersAlive: alive, WorkersSuspect: suspect, WorkersDead: dead,
+			Dispatched: ds.Dispatched, Retries: ds.Retries,
+			Resharded: ds.Resharded, NoWorkers: ds.NoWorkers,
+		}
+	}
 	if idx := s.opts.Surrogate; idx != nil {
 		fitted, families := idx.Models()
 		hits, refused, noModel, observed := idx.Counters()

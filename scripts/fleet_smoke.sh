@@ -1,0 +1,260 @@
+#!/bin/sh
+# End-to-end smoke test of the distributed serving tier (run by CI):
+# boot a coordinator plus three workers, then drill the fleet
+# guarantees over real processes and sockets:
+#
+#   1. /readyz tracks the fleet: 503 while the coordinator has no
+#      workers, 200 once the three have registered.
+#   2. A scenario submitted twice costs fresh simulations exactly once —
+#      the coordinator's store and coalescing are fleet-wide.
+#   3. A rapid submission burst from one client is shed with
+#      429 + Retry-After while other clients keep working.
+#   4. SIGKILL-ing the worker that owns most of the next batch's keys
+#      mid-campaign loses nothing: every job completes on the survivors
+#      (retries visible in /statsz), each fresh key simulates exactly
+#      once fleet-wide, and the dead worker shows up in worker health.
+#
+# Usage: scripts/fleet_smoke.sh [scenario-file]
+set -eu
+
+scenario=${1:-examples/custom_scenario/scenario.json}
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "fleet_smoke: building cmd/spechpcd"
+go build -o "$workdir/spechpcd" ./cmd/spechpcd
+
+# wait_addr <log> <err> <pid>: poll for the load-bearing
+# "spechpcd: listening on http://HOST:PORT" line and set $addr.
+wait_addr() {
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's#^spechpcd: listening on \(http://[0-9.:]*\).*#\1#p' "$1")
+        [ -n "$addr" ] && break
+        kill -0 "$3" 2>/dev/null || {
+            echo "fleet_smoke: daemon died on startup" >&2
+            cat "$2" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "fleet_smoke: daemon never reported its address" >&2
+        exit 1
+    fi
+}
+
+# json_field <name> <file>: pull one scalar out of indented JSON.
+json_field() {
+    sed -n "s/^ *\"$1\": *\"\{0,1\}\([^\",]*\)\"\{0,1\},\{0,1\}\$/\1/p" "$2" | head -1
+}
+
+http_code() { # http_code <url>
+    curl -s -o /dev/null -w '%{http_code}' "$1"
+}
+
+# --- coordinator: the fleet's front door, store, and dispatcher.
+"$workdir/spechpcd" -addr 127.0.0.1:0 -quick -parallel 4 \
+    -coordinator -suspect-after 2s -dead-after 4s \
+    -rate-limit 2 -rate-burst 4 \
+    -cache-dir "$workdir/store" -artifacts "$workdir/artifacts" \
+    >"$workdir/coord.log" 2>"$workdir/coord.err" &
+coord_pid=$!
+pids="$pids $coord_pid"
+wait_addr "$workdir/coord.log" "$workdir/coord.err" "$coord_pid"
+coord=$addr
+echo "fleet_smoke: coordinator up at $coord"
+
+curl -sf "$coord/healthz" >/dev/null || {
+    echo "fleet_smoke: coordinator healthz failed" >&2
+    exit 1
+}
+code=$(http_code "$coord/readyz")
+if [ "$code" != "503" ]; then
+    echo "fleet_smoke: FAIL: workerless coordinator /readyz = $code, want 503" >&2
+    exit 1
+fi
+
+# --- three workers joining the fleet. Stable IDs w1..w3: rendezvous
+# placement depends on them, and the kill phase below relies on that.
+w1_pid=""
+for i in 1 2 3; do
+    "$workdir/spechpcd" -addr 127.0.0.1:0 -quick -parallel 2 \
+        -join "$coord" -worker-id "w$i" -heartbeat 200ms \
+        >"$workdir/w$i.log" 2>"$workdir/w$i.err" &
+    wpid=$!
+    pids="$pids $wpid"
+    [ "$i" = 1 ] && w1_pid=$wpid
+    wait_addr "$workdir/w$i.log" "$workdir/w$i.err" "$wpid"
+    echo "fleet_smoke: worker w$i up at $addr"
+done
+
+ready=""
+for _ in $(seq 1 100); do
+    [ "$(http_code "$coord/readyz")" = "200" ] && { ready=yes; break; }
+    sleep 0.1
+done
+if [ -z "$ready" ]; then
+    echo "fleet_smoke: FAIL: coordinator never became ready after workers joined" >&2
+    exit 1
+fi
+curl -sf "$coord/statsz" >"$workdir/join.statsz.json"
+alive=$(json_field workers_alive "$workdir/join.statsz.json")
+if [ "$alive" != "3" ]; then
+    echo "fleet_smoke: FAIL: workers_alive = $alive, want 3" >&2
+    exit 1
+fi
+echo "fleet_smoke: fleet ready (3 workers alive)"
+
+submit_and_wait() { # submit_and_wait <label>
+    curl -sf -X POST --data-binary "@$scenario" \
+        "$coord/api/v1/scenarios" >"$workdir/$1.json"
+    sid=$(json_field id "$workdir/$1.json")
+    if [ -z "$sid" ]; then
+        echo "fleet_smoke: $1: submission returned no id" >&2
+        cat "$workdir/$1.json" >&2
+        exit 1
+    fi
+    state=""
+    for _ in $(seq 1 600); do
+        curl -sf "$coord/api/v1/scenarios/$sid" >"$workdir/$1.status.json"
+        state=$(json_field state "$workdir/$1.status.json")
+        [ "$state" = "done" ] || [ "$state" = "failed" ] && break
+        sleep 0.2
+    done
+    if [ "$state" != "done" ]; then
+        echo "fleet_smoke: $1: scenario ended as '$state'" >&2
+        cat "$workdir/$1.status.json" >&2
+        exit 1
+    fi
+    curl -sf "$coord/statsz" >"$workdir/$1.statsz.json"
+    fresh=$(json_field fresh_sims "$workdir/$1.statsz.json")
+    echo "fleet_smoke: $1: scenario $sid done, fleet-wide fresh_sims=$fresh"
+}
+
+# --- passes 1+2: the distributed warm-path guarantee.
+submit_and_wait cold
+cold_fresh=$fresh
+if [ "$cold_fresh" -eq 0 ]; then
+    echo "fleet_smoke: cold pass simulated nothing - scenario too small?" >&2
+    exit 1
+fi
+dispatched=$(json_field dispatched "$workdir/cold.statsz.json")
+if [ -z "$dispatched" ] || [ "$dispatched" -eq 0 ]; then
+    echo "fleet_smoke: FAIL: cold pass dispatched nothing to the workers" >&2
+    exit 1
+fi
+
+submit_and_wait warm
+if [ "$fresh" -ne "$cold_fresh" ]; then
+    echo "fleet_smoke: FAIL: second submission ran $((fresh - cold_fresh)) fresh simulations; want 0 fleet-wide" >&2
+    exit 1
+fi
+
+# --- overload: a single client bursting past its token bucket is shed
+# with 429 + Retry-After; the probe job is warm, so admitted ones are free.
+saw_429=""
+retry_after=""
+for _ in $(seq 1 12); do
+    code=$(curl -s -o /dev/null -D "$workdir/probe.headers" -w '%{http_code}' \
+        -X POST -H 'X-Client-ID: burst-probe' \
+        -d '{"benchmark":"tealeaf","cluster":"ClusterA","class":"tiny","ranks":1,"sim_steps":2}' \
+        "$coord/api/v1/jobs")
+    if [ "$code" = "429" ]; then
+        saw_429=yes
+        retry_after=$(sed -n 's/^[Rr]etry-[Aa]fter: *\([0-9]*\).*/\1/p' "$workdir/probe.headers")
+        break
+    fi
+done
+if [ -z "$saw_429" ]; then
+    echo "fleet_smoke: FAIL: 12-request burst never got a 429" >&2
+    exit 1
+fi
+if [ -z "$retry_after" ] || [ "$retry_after" -lt 1 ]; then
+    echo "fleet_smoke: FAIL: 429 carried Retry-After '$retry_after', want >= 1s" >&2
+    exit 1
+fi
+echo "fleet_smoke: burst shed with 429, Retry-After=${retry_after}s"
+
+# --- worker loss: SIGKILL w1 (rendezvous owner of most of the keys
+# below), then immediately submit 12 fresh jobs. The registry still
+# thinks w1 is alive, so its keys are dispatched to the corpse, fail,
+# and re-shard to the survivors — zero lost jobs, zero duplicates.
+base_fresh=$fresh
+kill -9 "$w1_pid"
+echo "fleet_smoke: SIGKILLed worker w1"
+
+jobids=""
+i=1
+while [ "$i" -le 12 ]; do
+    curl -sf -X POST -H "X-Client-ID: killjob-$i" \
+        -d "{\"benchmark\":\"lbm\",\"cluster\":\"ClusterA\",\"class\":\"tiny\",\"ranks\":$i,\"sim_steps\":1,\"priority\":1}" \
+        "$coord/api/v1/jobs" >"$workdir/kill$i.json"
+    jobids="$jobids $(json_field id "$workdir/kill$i.json")"
+    i=$((i + 1))
+done
+
+for id in $jobids; do
+    state=""
+    for _ in $(seq 1 300); do
+        curl -sf "$coord/api/v1/jobs/$id" >"$workdir/job.status.json"
+        state=$(json_field state "$workdir/job.status.json")
+        [ "$state" = "done" ] || [ "$state" = "failed" ] || [ "$state" = "cancelled" ] && break
+        sleep 0.1
+    done
+    if [ "$state" != "done" ]; then
+        echo "fleet_smoke: FAIL: job $id ended as '$state' after the worker kill" >&2
+        cat "$workdir/job.status.json" >&2
+        exit 1
+    fi
+done
+echo "fleet_smoke: all 12 jobs survived the worker kill"
+
+curl -sf "$coord/statsz" >"$workdir/kill.statsz.json"
+fresh=$(json_field fresh_sims "$workdir/kill.statsz.json")
+if [ "$fresh" -ne $((base_fresh + 12)) ]; then
+    echo "fleet_smoke: FAIL: fresh_sims went $base_fresh -> $fresh across 12 unique jobs; want exactly +12 (no losses, no duplicates)" >&2
+    exit 1
+fi
+retries=$(json_field retries "$workdir/kill.statsz.json")
+if [ -z "$retries" ] || [ "$retries" -lt 1 ]; then
+    echo "fleet_smoke: FAIL: dispatcher recorded $retries retries; the kill should have forced re-dispatch" >&2
+    exit 1
+fi
+
+# The dead worker ages out of the health view (dead-after is 4s).
+dead=""
+for _ in $(seq 1 100); do
+    curl -sf "$coord/statsz" >"$workdir/health.statsz.json"
+    dead=$(json_field workers_dead "$workdir/health.statsz.json")
+    [ "$dead" = "1" ] && break
+    sleep 0.1
+done
+if [ "$dead" != "1" ]; then
+    echo "fleet_smoke: FAIL: workers_dead = $dead, want 1 after the kill" >&2
+    exit 1
+fi
+echo "fleet_smoke: dead worker visible in /statsz (retries=$retries)"
+
+# --- graceful shutdown: the coordinator drains cleanly on SIGTERM.
+kill -TERM "$coord_pid"
+i=0
+while kill -0 "$coord_pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "fleet_smoke: FAIL: coordinator ignored SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+grep -q '^campaign:' "$workdir/coord.err" || {
+    echo "fleet_smoke: FAIL: coordinator shutdown printed no campaign stats line" >&2
+    cat "$workdir/coord.err" >&2
+    exit 1
+}
+echo "fleet_smoke: OK (fleet-wide warm path, 429 shedding, worker-loss recovery, clean shutdown)"
