@@ -12,6 +12,7 @@
 package spechpcsim_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -44,14 +45,49 @@ func runExperiment(b *testing.B, fn func(*figures.Context) error) {
 	}
 }
 
-func BenchmarkTable1Workloads(b *testing.B)  { runExperiment(b, figures.Table1) }
-func BenchmarkTable2Numerics(b *testing.B)   { runExperiment(b, figures.Table2) }
-func BenchmarkTable3Machines(b *testing.B)   { runExperiment(b, figures.Table3) }
-func BenchmarkFig1NodeScaling(b *testing.B)  { runExperiment(b, figures.Fig1) }
-func BenchmarkFig2Bandwidth(b *testing.B)    { runExperiment(b, figures.Fig2) }
-func BenchmarkFig3Power(b *testing.B)        { runExperiment(b, figures.Fig3) }
-func BenchmarkFig4Energy(b *testing.B)       { runExperiment(b, figures.Fig4) }
-func BenchmarkFig5MultiNode(b *testing.B)    { runExperiment(b, figures.Fig5) }
+func BenchmarkTable1Workloads(b *testing.B) { runExperiment(b, figures.Table1) }
+func BenchmarkTable2Numerics(b *testing.B)  { runExperiment(b, figures.Table2) }
+func BenchmarkTable3Machines(b *testing.B)  { runExperiment(b, figures.Table3) }
+func BenchmarkFig1NodeScaling(b *testing.B) { runExperiment(b, figures.Fig1) }
+func BenchmarkFig2Bandwidth(b *testing.B)   { runExperiment(b, figures.Fig2) }
+func BenchmarkFig3Power(b *testing.B)       { runExperiment(b, figures.Fig3) }
+func BenchmarkFig4Energy(b *testing.B)      { runExperiment(b, figures.Fig4) }
+func BenchmarkFig5MultiNode(b *testing.B)   { runExperiment(b, figures.Fig5) }
+
+// BenchmarkFig5MultiNodeJob measures one Fig.5-class multi-node job —
+// lbm/small across all sixteen ClusterA nodes — on the serial engine
+// and on the conservative-lookahead partitioned engine (internal/
+// sim/psim) at rising worker counts. Outputs are byte-identical at
+// every worker count (pinned by TestParallelEngineParity), so the
+// sub-benchmarks measure pure execution strategy: scripts/
+// bench_compare.sh workers turns them into a scaling table, and the CI
+// psim gate asserts workers=8 beats serial with benchgate -assert.
+// Speedup has two components: smaller per-partition event heaps (an
+// algorithmic win visible even single-threaded) and true parallelism
+// across host cores (needs GOMAXPROCS > 1).
+func BenchmarkFig5MultiNodeJob(b *testing.B) {
+	cs := machine.MustGet("ClusterA")
+	rs := spec.RunSpec{
+		Benchmark: "lbm", Class: bench.Small,
+		Cluster: cs, Ranks: cs.MaxNodes * cs.CPU.CoresPerNode(),
+		Options: bench.Options{SimSteps: 1},
+	}
+	for _, w := range []int{0, 2, 4, 8} {
+		name := "serial"
+		if w > 0 {
+			name = fmt.Sprintf("workers=%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			job := rs
+			job.SimWorkers = w
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Run(job); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 func BenchmarkFig6PowerEnergy(b *testing.B)  { runExperiment(b, figures.Fig6) }
 func BenchmarkTextScalingCases(b *testing.B) { runExperiment(b, figures.TextCases) }
 

@@ -12,9 +12,17 @@
 //	benchgate -old baseline.bench -new candidate.bench \
 //	          [-metric ns/op] [-alpha 0.05] [-max-growth 20] [-min-count 5]
 //	benchgate -summarize file.bench          # benchfmt -> flat JSON means
+//	benchgate -assert file.bench -faster 'Fig5MultiNodeJob/workers=8' \
+//	          -slower 'Fig5MultiNodeJob/serial' -min-speedup 1.25
+//
+// The -assert form gates a speedup claim within ONE benchfmt file: it
+// fails unless the -faster benchmark beats the -slower one by at least
+// -min-speedup on the metric's median, with the difference significant
+// under the Mann-Whitney U test. CI uses it to require the parallel
+// simulation engine to actually outrun the serial one.
 //
 // Exit status: 0 when the gate passes, 1 on regression (or too few
-// samples with -min-count), 2 on usage errors.
+// samples with -min-count, or a failed -assert), 2 on usage errors.
 package main
 
 import (
@@ -27,13 +35,17 @@ import (
 
 func main() {
 	var (
-		oldPath   = flag.String("old", "", "baseline benchfmt file")
-		newPath   = flag.String("new", "", "candidate benchfmt file")
-		metric    = flag.String("metric", "ns/op", "metric unit to gate on (ns/op, allocs/op, B/op, ...)")
-		alpha     = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney U test")
-		maxGrowth = flag.Float64("max-growth", 20, "allowed metric growth in percent; significant shifts beyond this fail")
-		minCount  = flag.Int("min-count", 0, "fail when either side of a compared benchmark has fewer samples (0 disables)")
-		summarize = flag.String("summarize", "", "print a benchfmt file as flat JSON of per-benchmark metric means and exit")
+		oldPath    = flag.String("old", "", "baseline benchfmt file")
+		newPath    = flag.String("new", "", "candidate benchfmt file")
+		metric     = flag.String("metric", "ns/op", "metric unit to gate on (ns/op, allocs/op, B/op, ...)")
+		alpha      = flag.Float64("alpha", 0.05, "significance level for the Mann-Whitney U test")
+		maxGrowth  = flag.Float64("max-growth", 20, "allowed metric growth in percent; significant shifts beyond this fail")
+		minCount   = flag.Int("min-count", 0, "fail when either side of a compared benchmark has fewer samples (0 disables)")
+		summarize  = flag.String("summarize", "", "print a benchfmt file as flat JSON of per-benchmark metric means and exit")
+		assert     = flag.String("assert", "", "benchfmt file for a single-file speedup assertion (with -faster/-slower)")
+		faster     = flag.String("faster", "", "assert mode: benchmark name (with or without Benchmark prefix) that must be faster")
+		slower     = flag.String("slower", "", "assert mode: benchmark name (with or without Benchmark prefix) to beat")
+		minSpeedup = flag.Float64("min-speedup", 1.0, "assert mode: required median speedup of -faster over -slower")
 	)
 	flag.Parse()
 
@@ -43,6 +55,9 @@ func main() {
 			os.Exit(2)
 		}
 		return
+	}
+	if *assert != "" {
+		os.Exit(assertFaster(*assert, *faster, *slower, *metric, *alpha, *minSpeedup, *minCount))
 	}
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -old and -new benchfmt files are required (or -summarize)")
@@ -85,6 +100,62 @@ func main() {
 		fmt.Println("benchgate: OK")
 	}
 	os.Exit(status)
+}
+
+// assertFaster gates a speedup claim inside one benchfmt file: the
+// faster benchmark's median metric must beat the slower one's by at
+// least minSpeedup, and the two sample sets must differ significantly
+// under the Mann-Whitney U test. Returns the process exit status.
+func assertFaster(path, faster, slower, metric string, alpha, minSpeedup float64, minCount int) int {
+	if faster == "" || slower == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -assert needs both -faster and -slower benchmark names")
+		return 2
+	}
+	s, err := parseFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	fast, err := findValues(s, faster, metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	slow, err := findValues(s, slower, metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return 2
+	}
+	if minCount > 0 && (len(fast) < minCount || len(slow) < minCount) {
+		fmt.Fprintf(os.Stderr, "benchgate: %d/%d samples, need >= %d per side for a meaningful test\n",
+			len(fast), len(slow), minCount)
+		return 1
+	}
+	speedup := perfstat.Median(slow) / perfstat.Median(fast)
+	p := perfstat.MannWhitneyU(fast, slow)
+	fmt.Printf("benchgate: %s vs %s (%s): median speedup %.2fx (want >= %.2fx), p=%.4g (alpha %g)\n",
+		faster, slower, metric, speedup, minSpeedup, p, alpha)
+	if speedup < minSpeedup {
+		fmt.Println("benchgate: FAIL (speedup below threshold)")
+		return 1
+	}
+	if p >= alpha {
+		fmt.Println("benchgate: FAIL (difference not statistically significant)")
+		return 1
+	}
+	fmt.Println("benchgate: OK")
+	return 0
+}
+
+// findValues returns the metric samples of the benchmark matching name
+// (exact, or with the standard "Benchmark" prefix added).
+func findValues(s *perfstat.Set, name, metric string) ([]float64, error) {
+	for _, cand := range []string{name, "Benchmark" + name} {
+		if vs := s.Values(cand, metric); len(vs) > 0 {
+			return vs, nil
+		}
+	}
+	return nil, fmt.Errorf("benchmark %q has no %q samples in the file", name, metric)
 }
 
 func parseFile(path string) (*perfstat.Set, error) {

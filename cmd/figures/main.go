@@ -43,9 +43,15 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory (cross-process cache)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+	simWorkers := flag.Int("sim-workers", 0,
+		"intra-job parallel engine workers for multi-node jobs (0 = let the scheduler grant idle cores, -1 = always serial)")
 	flag.Parse()
 
-	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	stop, err := profiling.StartWith(profiling.Options{
+		CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
@@ -66,6 +72,7 @@ func main() {
 		stop()
 		os.Exit(1)
 	}
+	engine.Scheduler().SetSimWorkers(*simWorkers)
 
 	var clusterList []string
 	if *clusters != "" {

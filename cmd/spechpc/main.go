@@ -63,9 +63,15 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory (cross-process cache)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
+	simWorkers := flag.Int("sim-workers", 0,
+		"intra-job parallel engine workers for multi-node jobs (0 = let the scheduler grant idle cores, -1 = always serial)")
 	flag.Parse()
 
-	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	stop, err := profiling.StartWith(profiling.Options{
+		CPU: *cpuProfile, Mem: *memProfile, Block: *blockProfile, Mutex: *mutexProfile,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -98,7 +104,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		engine := newEngine(*parallel, *cacheDir)
+		engine := newEngine(*parallel, *cacheDir, *simWorkers)
 		p := &scenario.Planner{Engine: engine}
 		if err := p.Execute(sc, os.Stdout, *outDir); err != nil {
 			fatal(err)
@@ -126,7 +132,7 @@ func main() {
 		fatal(err)
 	}
 
-	engine := newEngine(*parallel, *cacheDir)
+	engine := newEngine(*parallel, *cacheDir, *simWorkers)
 	defer reportStats(engine, *cacheDir)
 	base := spec.RunSpec{
 		Benchmark: *name,
@@ -318,12 +324,13 @@ func runSweep(engine *campaign.Engine, base spec.RunSpec, points []int) error {
 }
 
 // newEngine builds the campaign engine, attaching the persistent store
-// when -cache-dir is set.
-func newEngine(workers int, cacheDir string) *campaign.Engine {
+// when -cache-dir is set and applying the -sim-workers grant policy.
+func newEngine(workers int, cacheDir string, simWorkers int) *campaign.Engine {
 	engine, err := campaign.NewWithCacheDir(workers, cacheDir)
 	if err != nil {
 		fatal(err)
 	}
+	engine.Scheduler().SetSimWorkers(simWorkers)
 	return engine
 }
 

@@ -66,6 +66,8 @@ func main() {
 	rateBurst := flag.Float64("rate-burst", 0, "per-client submission burst (default: the rate, min 1)")
 	maxQueue := flag.Int("max-queue", 0, "shed submissions once the scheduler queue reaches this depth (0 = unbounded)")
 	degraded := flag.Bool("degraded", false, "answer queue-saturated job submissions from the surrogate fast tier instead of shedding (requires -surrogate and -max-queue)")
+	simWorkers := flag.Int("sim-workers", 0,
+		"intra-job parallel engine workers for multi-node jobs (0 = grant idle cores when the queue is empty, -1 = always serial)")
 	flag.Parse()
 
 	if *coordinator && *join != "" {
@@ -123,6 +125,7 @@ func main() {
 		}
 	}
 	sched := campaign.NewScheduler(*parallel, store)
+	sched.SetSimWorkers(*simWorkers)
 
 	// With -surrogate, warm-start the fast tier from every result already
 	// persisted, then keep learning: the scheduler feeds each fresh exact

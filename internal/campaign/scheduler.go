@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/spechpc/spechpc-sim/internal/netsim"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 )
 
@@ -211,6 +212,11 @@ type Scheduler struct {
 	// means spec.Run. Set before serving traffic.
 	runner Runner
 
+	// simWorkers controls intra-job parallelism grants (SetSimWorkers):
+	// 0 grants automatically when the campaign cannot keep the pool busy,
+	// -1 never grants, n > 0 forces n workers onto every eligible job.
+	simWorkers int
+
 	mu      sync.Mutex
 	cache   map[string]*schedJob // every key ever submitted (minus cancelled/evicted)
 	queue   jobQueue
@@ -292,6 +298,60 @@ func (s *Scheduler) SetPredictor(p Predictor) {
 	if o, ok := p.(Observer); ok {
 		s.observer = o
 	}
+}
+
+// SetSimWorkers controls how the scheduler grants intra-job parallelism
+// (spec.RunSpec.SimWorkers, the conservative-lookahead engine of
+// internal/sim/psim). The default 0 grants the full worker budget to a
+// multi-node job only when the campaign itself cannot use it — the
+// queue is empty and nothing else is running — so job-level parallelism
+// (many independent simulations) always wins when there is enough of
+// it, and the partitioned engine soaks up the cores it leaves idle.
+// -1 disables grants; n > 0 forces n workers onto every eligible job.
+// Because partitioned results are byte-identical to serial ones (and
+// job keys exclude SimWorkers), grants never split or poison the memo
+// or the persistent store. Call before submitting work.
+func (s *Scheduler) SetSimWorkers(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.simWorkers = n
+}
+
+// grantWorkersLocked decides the intra-job worker grant for a job about
+// to execute. Callers hold s.mu; the caller is already counted in
+// s.active, so the idle-pool condition is active == 1.
+func (s *Scheduler) grantWorkersLocked() int {
+	switch {
+	case s.simWorkers < 0:
+		return 0
+	case s.simWorkers > 0:
+		return s.simWorkers
+	case len(s.queue) == 0 && s.active == 1:
+		return s.workers
+	default:
+		return 0
+	}
+}
+
+// withSimWorkers applies a worker grant to an eligible job spec: one
+// that did not pin its own worker count, spans more than one node, and
+// runs on a fabric with a positive latency floor (the conservative
+// lookahead the partitioned engine requires). Ineligible specs pass
+// through unchanged.
+func withSimWorkers(rs spec.RunSpec, grant int) spec.RunSpec {
+	if grant <= 1 || rs.SimWorkers != 0 || rs.Cluster == nil ||
+		rs.Cluster.NodesFor(rs.Ranks) <= 1 {
+		return rs
+	}
+	net := rs.Net
+	if net.Name == "" {
+		net = netsim.HDR100()
+	}
+	if _, err := net.LatencyFloor(); err != nil {
+		return rs
+	}
+	rs.SimWorkers = grant
+	return rs
 }
 
 // SetRunner replaces the scheduler's job executor (default spec.Run).
@@ -467,9 +527,13 @@ func (s *Scheduler) worker() {
 		j := heap.Pop(&s.queue).(*schedJob)
 		j.state = Running
 		s.active++
+		// Decide the intra-job parallelism grant while the queue state is
+		// still visible; the granted spec shares the job's key (SimWorkers
+		// is execution strategy, not identity).
+		rs := withSimWorkers(j.rs, s.grantWorkersLocked())
 		s.mu.Unlock()
 
-		res, err := s.execute(j.key, j.rs)
+		res, err := s.execute(j.key, rs)
 
 		s.mu.Lock()
 		j.res, j.err = res, err

@@ -92,32 +92,43 @@ func domName(mem bool, i int) string {
 	return fmt.Sprintf("l3-dom%d", i)
 }
 
-// Reinit repoints a pooled System at a new environment, cluster, and rank
-// count, reusing the per-domain resource structs and the rank-stats slice
-// from previous runs. It resets all accounting to the zero state, so a
-// reinitialized System is observationally identical to a fresh one.
+// Reinit repoints a pooled System at a new serial environment; see
+// ReinitRouted for the partition-aware form.
 func (s *System) Reinit(env *sim.Env, spec *ClusterSpec, n int) {
+	s.ReinitRouted(sim.UniRouter{E: env}, spec, n)
+}
+
+// ReinitRouted repoints a pooled System at a new router, cluster, and
+// rank count, reusing the per-domain resource structs and the rank-stats
+// slice from previous runs. It resets all accounting to the zero state,
+// so a reinitialized System is observationally identical to a fresh one.
+// Each ccNUMA domain's L3/memory resources live on the environment of
+// the node holding it, so compute phases never touch another partition.
+func (s *System) ReinitRouted(rt sim.Router, spec *ClusterSpec, n int) {
 	if n <= 0 {
 		panic("machine: NewSystem with no ranks")
 	}
 	if n > spec.MaxRanks() {
 		panic(fmt.Sprintf("machine: %d ranks exceed %s capacity %d", n, spec.Name, spec.MaxRanks()))
 	}
-	s.env, s.spec, s.ranks, s.nodes = env, spec, n, spec.NodesFor(n)
+	s.env, s.spec, s.ranks, s.nodes = rt.NodeEnv(0), spec, n, spec.NodesFor(n)
 	s.finished, s.wall = false, 0
 	cpu := &spec.CPU
-	domains := s.nodes * cpu.DomainsPerNode()
+	dpn := cpu.DomainsPerNode()
+	domains := s.nodes * dpn
 	// The resource slices keep their high-water length across reuses so a
 	// campaign oscillating between job shapes never reconstructs them;
 	// only the first `domains` entries are live for this job.
 	for len(s.memRes) < domains {
 		d := len(s.memRes)
+		env := rt.NodeEnv(d / dpn)
 		s.memRes = append(s.memRes, sim.NewPSResource(env, domName(true, d),
 			cpu.MemSaturatedPerDomain, cpu.MemPerCoreMax))
 		s.l3Res = append(s.l3Res, sim.NewPSResource(env, domName(false, d),
 			cpu.L3BandwidthPerDomain, cpu.L3BandwidthPerCoreMax))
 	}
 	for d := 0; d < domains; d++ {
+		env := rt.NodeEnv(d / dpn)
 		s.memRes[d].Reinit(env, domName(true, d), cpu.MemSaturatedPerDomain, cpu.MemPerCoreMax)
 		s.l3Res[d].Reinit(env, domName(false, d), cpu.L3BandwidthPerDomain, cpu.L3BandwidthPerCoreMax)
 	}
@@ -209,22 +220,28 @@ func (s *System) AccountMPI(rank int, dt float64) {
 	st.EnergyDyn += s.spec.CPU.CoreMPIPower * dt
 }
 
-// RankFinished records the completion time of a rank's program.
+// RankFinished records the completion time of a rank's program. It only
+// touches the rank's own stats slot — the job wall-clock is derived in
+// Finish — so ranks on concurrently advancing partitions never share a
+// write.
 func (s *System) RankFinished(rank int, t float64) {
 	if t > s.rank[rank].Finish {
 		s.rank[rank].Finish = t
 	}
-	if t > s.wall {
-		s.wall = t
-	}
 }
 
-// Finish closes accounting; must be called after Env.Run returns.
+// Finish closes accounting; must be called after the event loop returns.
+// The job wall-clock is the latest rank finish time.
 func (s *System) Finish() {
 	if s.finished {
 		return
 	}
 	s.finished = true
+	for r := range s.rank {
+		if f := s.rank[r].Finish; f > s.wall {
+			s.wall = f
+		}
+	}
 	if s.wall == 0 {
 		s.wall = s.env.Now()
 	}

@@ -87,7 +87,7 @@ func (r *Rank) Allreduce(data []float64, modelBytes float64, op Op) []float64 {
 		}
 	}
 	n := r.Size()
-	acc := r.job.cloneFloats(data)
+	acc := r.arena().cloneFloats(data)
 	if n == 1 {
 		return acc
 	}
@@ -103,7 +103,7 @@ func (r *Rank) Allreduce(data []float64, modelBytes float64, op Op) []float64 {
 // allgather over all ranks. Each rank moves ~2x the payload in total,
 // which is why MPI libraries select this algorithm for large buffers.
 func (r *Rank) allreduceLarge(data []float64, modelBytes float64, op Op) []float64 {
-	acc := r.job.cloneFloats(data)
+	acc := r.arena().cloneFloats(data)
 	if r.Size() == 1 {
 		return acc
 	}
@@ -118,7 +118,7 @@ func (r *Rank) allreduceLarge(data []float64, modelBytes float64, op Op) []float
 // inter-node fabric. Tag-round layout: intra reduce 0..9, leader phase
 // 10..39, intra bcast 40..49 (all within the per-call tag window).
 func (r *Rank) allreduceHierarchical(data []float64, modelBytes float64, op Op) []float64 {
-	acc := r.job.cloneFloats(data)
+	acc := r.arena().cloneFloats(data)
 	r.beginColl(trace.KindAllreduce)
 	defer r.endColl()
 
@@ -367,7 +367,7 @@ func (r *Rank) rsagAmong(participants []int, acc []float64, modelBytes float64, 
 // return nil.
 func (r *Rank) Reduce(root int, data []float64, modelBytes float64, op Op) []float64 {
 	n := r.Size()
-	acc := r.job.cloneFloats(data)
+	acc := r.arena().cloneFloats(data)
 	if n == 1 {
 		return acc
 	}
@@ -403,7 +403,7 @@ func (r *Rank) Reduce(root int, data []float64, modelBytes float64, op Op) []flo
 // returns the received slice (root returns its own copy).
 func (r *Rank) Bcast(root int, data []float64, modelBytes float64) []float64 {
 	n := r.Size()
-	buf := r.job.cloneFloats(data)
+	buf := r.arena().cloneFloats(data)
 	if n == 1 {
 		return buf
 	}
@@ -437,8 +437,8 @@ func (r *Rank) Bcast(root int, data []float64, modelBytes float64) []float64 {
 // paper-scale size of one rank's contribution.
 func (r *Rank) Allgather(data []float64, modelBytes float64) [][]float64 {
 	n := r.Size()
-	out := r.job.allocSlices(n)
-	out[r.id] = r.job.cloneFloats(data)
+	out := r.arena().allocSlices(n)
+	out[r.id] = r.arena().cloneFloats(data)
 	if n == 1 {
 		return out
 	}
@@ -466,8 +466,8 @@ func (r *Rank) Alltoall(chunks [][]float64, modelBytes float64) [][]float64 {
 	if len(chunks) != n {
 		panic("mpi: Alltoall chunk count != ranks")
 	}
-	out := r.job.allocSlices(n)
-	out[r.id] = r.job.cloneFloats(chunks[r.id])
+	out := r.arena().allocSlices(n)
+	out[r.id] = r.arena().cloneFloats(chunks[r.id])
 	if n == 1 {
 		return out
 	}

@@ -24,6 +24,7 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/netsim"
 	"github.com/spechpc/spechpc-sim/internal/sim"
+	"github.com/spechpc/spechpc-sim/internal/sim/psim"
 	"github.com/spechpc/spechpc-sim/internal/trace"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	Ranks int
 	// Trace, if non-nil, receives per-rank timeline events.
 	Trace *trace.Recorder
+	// SimWorkers > 1 executes a multi-node job on the conservative-
+	// lookahead parallel engine (internal/sim/psim) with that many
+	// concurrent partition executors. Output is byte-identical to the
+	// serial engine at every worker count; single-node jobs and
+	// SimWorkers <= 1 run serially. Requires a fabric with a positive
+	// latency floor.
+	SimWorkers int
 }
 
 // Result is the outcome of a simulated job.
@@ -64,7 +72,7 @@ type Result struct {
 // and the spawn closures all survive across runs, so a steady-state
 // campaign job performs no per-rank setup allocation.
 type Job struct {
-	env   *sim.Env
+	rt    sim.Router
 	sys   *machine.System
 	net   *netsim.Network
 	rec   *trace.Recorder
@@ -75,22 +83,12 @@ type Job struct {
 	// not reconstruct ranks.
 	rankStore []*Rank
 
-	// Per-job bump arenas (sim.BumpAlloc) for protocol objects.
-	// Envelopes, requests, and messages all die with the job, so
-	// handing them out from chunks trades one allocation per object
-	// for one per chunk. The chunks are dropped (not pooled) when the
-	// job is released: any payload or message a rank body leaked to
-	// its caller stays valid forever, pinned by the GC, instead of
-	// being clobbered by the next pooled run.
-	envChunk []envelope
-	reqChunk []Request
-	msgChunk []Message
-	// floatChunk backs every payload copy (Isend capture, collective
-	// accumulators) and sliceChunk the out-slice headers of
-	// Allgather/Alltoall; msgsChunk backs Waitall result slices.
-	floatChunk []float64
-	sliceChunk [][]float64
-	msgsChunk  []*Message
+	// parts holds one protocol-object arena per node; live entries are
+	// parts[:nodes]. Sharding by node keeps the allocation-free hot
+	// path when partitions execute concurrently: every allocation
+	// happens on the arena of the partition the allocating code runs
+	// on, so arenas are never shared between executors.
+	parts []partArena
 
 	// Collective topology, precomputed once per run in mpi.Run instead
 	// of per collective call: the dense identity participant list, the
@@ -101,12 +99,39 @@ type Job struct {
 	cpn      int
 }
 
-// arenaChunk scales a per-rank chunk quota to the job size, clamped so
-// a 2-rank ping-pong job does not pay for 18-rank slabs and an 800-rank
-// job does not allocate multi-megabyte ones. Refills stay amortized:
-// steady state is a handful of chunk allocations per job at any size.
-func (j *Job) arenaChunk(perRank, floor, limit int) int {
-	n := perRank * len(j.ranks)
+// partArena is one node's bump arenas (sim.BumpAlloc) for protocol
+// objects. Envelopes, requests, and messages all die with the job, so
+// handing them out from chunks trades one allocation per object for one
+// per chunk. The chunks are dropped (not pooled) when the job is
+// released: any payload or message a rank body leaked to its caller
+// stays valid forever, pinned by the GC, instead of being clobbered by
+// the next pooled run.
+type partArena struct {
+	ranks    int // ranks on this node, for chunk sizing
+	envChunk []envelope
+	reqChunk []Request
+	msgChunk []Message
+	// floatChunk backs every payload copy (Isend capture, collective
+	// accumulators) and sliceChunk the out-slice headers of
+	// Allgather/Alltoall; msgsChunk backs Waitall result slices.
+	floatChunk []float64
+	sliceChunk [][]float64
+	msgsChunk  []*Message
+}
+
+// drop severs the arena's chunks so the next run starts fresh.
+func (pa *partArena) drop() {
+	pa.envChunk, pa.reqChunk, pa.msgChunk = nil, nil, nil
+	pa.floatChunk, pa.sliceChunk, pa.msgsChunk = nil, nil, nil
+}
+
+// arenaChunk scales a per-rank chunk quota to the node's rank count,
+// clamped so a 2-rank ping-pong job does not pay for 18-rank slabs and
+// a full-node job does not allocate multi-megabyte ones. Refills stay
+// amortized: steady state is a handful of chunk allocations per node at
+// any size.
+func (pa *partArena) arenaChunk(perRank, floor, limit int) int {
+	n := perRank * pa.ranks
 	if n < floor {
 		n = floor
 	}
@@ -116,70 +141,98 @@ func (j *Job) arenaChunk(perRank, floor, limit int) int {
 	return n
 }
 
-func (j *Job) newEnvelope() *envelope {
-	return sim.BumpAlloc(&j.envChunk, j.arenaChunk(64, 128, 8192))
+func (pa *partArena) newEnvelope() *envelope {
+	return sim.BumpAlloc(&pa.envChunk, pa.arenaChunk(64, 128, 8192))
 }
-func (j *Job) newRequest() *Request {
-	return sim.BumpAlloc(&j.reqChunk, j.arenaChunk(128, 256, 16384))
+func (pa *partArena) newRequest() *Request {
+	return sim.BumpAlloc(&pa.reqChunk, pa.arenaChunk(128, 256, 16384))
 }
-func (j *Job) newMessage() *Message {
-	return sim.BumpAlloc(&j.msgChunk, j.arenaChunk(64, 128, 8192))
+func (pa *partArena) newMessage() *Message {
+	return sim.BumpAlloc(&pa.msgChunk, pa.arenaChunk(64, 128, 8192))
 }
 
-// allocFloats hands out a zeroed []float64 of length n from the job's
+// allocFloats hands out a zeroed []float64 of length n from the node's
 // payload arena. Zero-length requests return nil, matching the historic
 // `append([]float64(nil), data...)` behavior for empty payloads.
-func (j *Job) allocFloats(n int) []float64 {
+func (pa *partArena) allocFloats(n int) []float64 {
 	if n == 0 {
 		return nil
 	}
-	if n > len(j.floatChunk) {
-		size := j.arenaChunk(512, 1024, 65536)
+	if n > len(pa.floatChunk) {
+		size := pa.arenaChunk(512, 1024, 65536)
 		if n > size {
 			size = n
 		}
-		j.floatChunk = make([]float64, size)
+		pa.floatChunk = make([]float64, size)
 	}
-	s := j.floatChunk[:n:n]
-	j.floatChunk = j.floatChunk[n:]
+	s := pa.floatChunk[:n:n]
+	pa.floatChunk = pa.floatChunk[n:]
 	return s
 }
 
 // cloneFloats copies data into the payload arena.
-func (j *Job) cloneFloats(data []float64) []float64 {
-	s := j.allocFloats(len(data))
+func (pa *partArena) cloneFloats(data []float64) []float64 {
+	s := pa.allocFloats(len(data))
 	copy(s, data)
 	return s
 }
 
-// allocSlices hands out a [][]float64 of length n from the job arena
+// allocSlices hands out a [][]float64 of length n from the node arena
 // (backing for Allgather/Alltoall results).
-func (j *Job) allocSlices(n int) [][]float64 {
-	if n > len(j.sliceChunk) {
-		size := j.arenaChunk(4, 64, 4096)
+func (pa *partArena) allocSlices(n int) [][]float64 {
+	if n > len(pa.sliceChunk) {
+		size := pa.arenaChunk(4, 64, 4096)
 		if n > size {
 			size = n
 		}
-		j.sliceChunk = make([][]float64, size)
+		pa.sliceChunk = make([][]float64, size)
 	}
-	s := j.sliceChunk[:n:n]
-	j.sliceChunk = j.sliceChunk[n:]
+	s := pa.sliceChunk[:n:n]
+	pa.sliceChunk = pa.sliceChunk[n:]
 	return s
 }
 
-// allocMsgPtrs hands out a []*Message of length n from the job arena
+// allocMsgPtrs hands out a []*Message of length n from the node arena
 // (backing for Waitall results).
-func (j *Job) allocMsgPtrs(n int) []*Message {
-	if n > len(j.msgsChunk) {
-		size := j.arenaChunk(8, 64, 4096)
+func (pa *partArena) allocMsgPtrs(n int) []*Message {
+	if n > len(pa.msgsChunk) {
+		size := pa.arenaChunk(8, 64, 4096)
 		if n > size {
 			size = n
 		}
-		j.msgsChunk = make([]*Message, size)
+		pa.msgsChunk = make([]*Message, size)
 	}
-	s := j.msgsChunk[:n:n]
-	j.msgsChunk = j.msgsChunk[n:]
+	s := pa.msgsChunk[:n:n]
+	pa.msgsChunk = pa.msgsChunk[n:]
 	return s
+}
+
+// arena returns the rank's node-local arena; all of a rank's own
+// allocations come from it.
+func (r *Rank) arena() *partArena { return &r.job.parts[r.place.Node] }
+
+// arenaOf returns the arena of the node hosting the given rank — used
+// by destination-side protocol events (message construction on receive).
+func (j *Job) arenaOf(rank int) *partArena {
+	return &j.parts[j.ranks[rank].place.Node]
+}
+
+// envOf returns the environment simulating the given rank's node.
+func (j *Job) envOf(rank int) *sim.Env {
+	return j.rt.NodeEnv(j.ranks[rank].place.Node)
+}
+
+// post schedules fn(arg) delay seconds from now on the partition of
+// dstRank's node, from code currently executing on srcRank's partition.
+// On the serial engine this is a plain AfterArg; on the parallel engine
+// cross-node posts travel through the window-barrier mailbox. delay must
+// be at least the fabric latency floor for cross-node posts — true for
+// every protocol event, which is what makes conservative windows safe.
+func (j *Job) post(srcRank, dstRank int, delay float64, fn func(any), arg any) {
+	srcNode := j.ranks[srcRank].place.Node
+	dstNode := j.ranks[dstRank].place.Node
+	e := j.rt.NodeEnv(srcNode)
+	j.rt.Post(srcNode, dstNode, e.Now()+delay, fn, arg)
 }
 
 // jobPool recycles Job state across runs. Like the sim environment pool,
@@ -239,6 +292,15 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 		return Result{}, err
 	}
 
+	// A multi-node job with SimWorkers > 1 runs on the conservative-
+	// lookahead parallel engine; everything else runs serially. The two
+	// paths produce byte-identical results (pinned by the determinism
+	// goldens), so the choice is purely a wall-clock matter.
+	nodes := cfg.Cluster.NodesFor(cfg.Ranks)
+	if cfg.SimWorkers > 1 && nodes > 1 {
+		return runPartitioned(cfg, nodes, body)
+	}
+
 	// Environments and job state come from pools: event slabs, process
 	// structs, resume channels, machine/network resources, and Rank
 	// structs are all recycled across campaign jobs. Failed runs
@@ -246,7 +308,7 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 	// rank goroutines may still reference them.
 	env := sim.AcquireEnv()
 	job := jobPool.Get().(*Job)
-	job.init(env, cfg, body)
+	job.init(sim.UniRouter{E: env}, cfg, body)
 	if err := env.Run(); err != nil {
 		return Result{}, err
 	}
@@ -256,23 +318,61 @@ func Run(cfg Config, body func(r *Rank)) (Result, error) {
 	return Result{Usage: u, Trace: cfg.Trace, Wall: u.Wall}, nil
 }
 
+// runPartitioned executes a multi-node job on the psim engine: one
+// partition per node, advancing concurrently inside lookahead windows
+// derived from the fabric latency floor.
+func runPartitioned(cfg Config, nodes int, body func(r *Rank)) (Result, error) {
+	floor, err := cfg.Net.LatencyFloor()
+	if err != nil {
+		return Result{}, fmt.Errorf("mpi: SimWorkers=%d: %w", cfg.SimWorkers, err)
+	}
+	eng := psim.Acquire(nodes, cfg.SimWorkers, floor)
+	job := jobPool.Get().(*Job)
+	job.init(eng, cfg, body)
+	if err := eng.Run(); err != nil {
+		// Failed runs abandon the job (blocked rank goroutines may still
+		// reference it); the engine releases what stayed clean.
+		eng.Release()
+		return Result{}, err
+	}
+	u := job.sys.Usage()
+	eng.Release()
+	job.release()
+	return Result{Usage: u, Trace: cfg.Trace, Wall: u.Wall}, nil
+}
+
 // init prepares a pooled Job for one run: reinitializes the machine and
 // network instances in place, resets the live ranks, and precomputes the
 // collective topology. In steady state (shapes at or below the pool
-// entry's high-water marks) it allocates nothing.
-func (j *Job) init(env *sim.Env, cfg Config, body func(r *Rank)) {
+// entry's high-water marks) it allocates nothing. The router decides the
+// execution mode: sim.UniRouter for the serial engine, a psim.Engine for
+// partitioned execution — the job wiring is identical either way.
+func (j *Job) init(rt sim.Router, cfg Config, body func(r *Rank)) {
 	n := cfg.Ranks
-	j.env, j.rec = env, cfg.Trace
+	j.rt, j.rec = rt, cfg.Trace
 	if j.sys == nil {
-		j.sys = machine.NewSystem(env, cfg.Cluster, n)
-	} else {
-		j.sys.Reinit(env, cfg.Cluster, n)
+		j.sys = &machine.System{}
 	}
+	j.sys.ReinitRouted(rt, cfg.Cluster, n)
 	nodes := cfg.Cluster.NodesFor(n)
 	if j.net == nil {
-		j.net = netsim.New(env, cfg.Net, nodes)
-	} else {
-		j.net.Reinit(env, cfg.Net, nodes)
+		j.net = &netsim.Network{}
+	}
+	j.net.ReinitRouted(rt, cfg.Net, nodes)
+
+	// Per-node arenas: drop last run's chunks, size this run's shape.
+	for len(j.parts) < nodes {
+		j.parts = append(j.parts, partArena{})
+	}
+	cpn := cfg.Cluster.CPU.CoresPerNode()
+	for node := 0; node < nodes; node++ {
+		pa := &j.parts[node]
+		pa.drop()
+		onNode := n - node*cpn
+		if onNode > cpn {
+			onNode = cpn
+		}
+		pa.ranks = onNode
 	}
 
 	// Collective topology for this job: identity participant list and
@@ -303,7 +403,9 @@ func (j *Job) init(env *sim.Env, cfg Config, body func(r *Rank)) {
 		r.place = cfg.Cluster.Place(i)
 		r.body = body
 		r.collSeq, r.collKind, r.inColl = 0, 0, false
-		r.proc = env.Spawn(rankName(i), r.runFn)
+		// Each rank lives on the partition simulating its node; under
+		// the serial router every node maps to the same environment.
+		r.proc = rt.NodeEnv(r.place.Node).Spawn(rankName(i), r.runFn)
 	}
 }
 
@@ -311,9 +413,10 @@ func (j *Job) init(env *sim.Env, cfg Config, body func(r *Rank)) {
 // pinned by the GC), severs references the pool must not retain, and
 // returns the Job for reuse.
 func (j *Job) release() {
-	j.env, j.rec = nil, nil
-	j.envChunk, j.reqChunk, j.msgChunk = nil, nil, nil
-	j.floatChunk, j.sliceChunk, j.msgsChunk = nil, nil, nil
+	j.rt, j.rec = nil, nil
+	for i := range j.parts {
+		j.parts[i].drop()
+	}
 	for _, r := range j.rankStore {
 		r.body, r.proc = nil, nil
 		// The matching queues are empty after a clean run, but their
@@ -389,26 +492,28 @@ func (r *Rank) mpiInterval(kind trace.Kind, t0 float64, peer int) {
 
 // wake makes the rank re-check its blocking condition if it is parked.
 // Ranks in timed waits or running observe state changes on their own.
+// Must be called from the rank's own partition.
 func (j *Job) wake(rank int) {
 	p := j.ranks[rank].proc
 	if p.State() == sim.StateParked {
-		j.env.Wake(p)
+		j.envOf(rank).Wake(p)
 	}
 }
 
 // wakePair wakes ranks a and b (in that order) after a symmetric
 // completion. When both are parked the wakes share one batched queue
-// entry instead of one event per rank.
+// entry instead of one event per rank. Only used for same-node
+// completions (intra-node rendezvous), so both ranks share a partition.
 func (j *Job) wakePair(a, b int) {
 	pa, pb := j.ranks[a].proc, j.ranks[b].proc
 	aParked := pa.State() == sim.StateParked
 	bParked := pb.State() == sim.StateParked
 	switch {
 	case aParked && bParked:
-		j.env.WakePair(pa, pb)
+		j.envOf(a).WakePair(pa, pb)
 	case aParked:
-		j.env.Wake(pa)
+		j.envOf(a).Wake(pa)
 	case bParked:
-		j.env.Wake(pb)
+		j.envOf(b).Wake(pb)
 	}
 }

@@ -112,18 +112,25 @@ func eagerDataArrived(a any) {
 }
 
 // rendezvousCTS fires when the clear-to-send reaches the sender: the data
-// crosses the wire and both requests complete when it lands.
+// crosses the wire. Intra-node transfers complete symmetrically when the
+// copy finishes; inter-node transfers complete at the receiver first,
+// and the sender unblocks one wire latency later when the delivery
+// acknowledgment returns (see rendezvousArrive / rendezvousAck).
 func rendezvousCTS(a any) {
 	env := a.(*envelope)
 	j := env.job
 	srcNode := j.ranks[env.src].place.Node
 	dstNode := j.ranks[env.dst].place.Node
-	j.net.StartTransferArg(srcNode, dstNode, env.modelBytes, rendezvousDone, env)
+	if srcNode == dstNode {
+		j.net.StartTransferArg(srcNode, dstNode, env.modelBytes, rendezvousDone, env)
+		return
+	}
+	j.net.StartTransferArg(srcNode, dstNode, env.modelBytes, rendezvousArrive, env)
 }
 
-// rendezvousDone completes a rendezvous transfer. The completion is
-// symmetric — sender and receiver unblock at the same instant — so both
-// wakeups ride one batched queue entry.
+// rendezvousDone completes an intra-node rendezvous transfer. The
+// completion is symmetric — sender and receiver unblock at the same
+// instant — so both wakeups ride one batched queue entry.
 func rendezvousDone(a any) {
 	env := a.(*envelope)
 	j := env.job
@@ -134,6 +141,27 @@ func rendezvousDone(a any) {
 	} else {
 		j.wake(env.src)
 	}
+}
+
+// rendezvousArrive fires on the receiver's partition when an inter-node
+// rendezvous payload has fully arrived: the receive completes here, and
+// the delivery acknowledgment starts its trip back to the sender.
+func rendezvousArrive(a any) {
+	env := a.(*envelope)
+	j := env.job
+	env.dataArrived = true
+	if j.finishRecv(env) {
+		j.wake(env.dst)
+	}
+	j.post(env.dst, env.src, j.net.Spec().InterNodeLatency, rendezvousAck, env)
+}
+
+// rendezvousAck fires on the sender's partition one wire latency after
+// delivery: the send request completes and the sender unblocks.
+func rendezvousAck(a any) {
+	env := a.(*envelope)
+	env.sendReq.state = reqDone
+	env.job.wake(env.src)
 }
 
 // Isend starts a nonblocking send of data to rank dst. ModelBytes drives
@@ -148,7 +176,8 @@ func (r *Rank) Isend(dst, tag int, data []float64, modelBytes float64) *Request 
 	r.proc.Wait(j.net.Spec().SendOverhead)
 	r.mpiInterval(kind, t0, dst)
 
-	env := j.newEnvelope()
+	pa := r.arena()
+	env := pa.newEnvelope()
 	env.job = j
 	env.src = r.id
 	env.dst = dst
@@ -156,9 +185,12 @@ func (r *Rank) Isend(dst, tag int, data []float64, modelBytes float64) *Request 
 	env.modelBytes = modelBytes
 	// The payload is captured at submission time (the caller may reuse
 	// its buffer immediately, as after a real MPI_Isend completion); the
-	// copy lives in the job's payload arena.
-	env.data = j.cloneFloats(data)
-	req := j.newRequest()
+	// copy lives in the sender node's payload arena. Every envelope
+	// field the receiver reads is written here, before the first
+	// cross-partition post, so the window-barrier handoff orders the
+	// writes before any destination-side access.
+	env.data = pa.cloneFloats(data)
+	req := pa.newRequest()
 	req.rank, req.send, req.peer, req.tag, req.env = r, true, dst, tag, env
 	env.sendReq = req
 	env.eager = j.net.Eager(modelBytes)
@@ -170,7 +202,7 @@ func (r *Rank) Isend(dst, tag int, data []float64, modelBytes float64) *Request 
 		req.state = reqDone
 		j.net.StartTransferArg(srcNode, dstNode, modelBytes, eagerDataArrived, env)
 	}
-	j.env.AfterArg(lat, envHeaderArrive, env)
+	j.post(r.id, dst, lat, envHeaderArrive, env)
 	return req
 }
 
@@ -184,7 +216,7 @@ func (r *Rank) Irecv(src, tag int) *Request {
 	r.proc.Wait(j.net.Spec().RecvOverhead)
 	r.mpiInterval(kind, t0, src)
 
-	req := j.newRequest()
+	req := r.arena().newRequest()
 	req.rank, req.peer, req.tag = r, src, tag
 	if env := r.matchUnexpected(req); env != nil {
 		j.matchEnvelope(env, req)
@@ -202,7 +234,7 @@ func (r *Rank) Wait(q *Request) *Message { return r.waitAs(q, trace.KindWait) }
 // in request order (nil entries for sends). The result slice is backed by
 // the job arena and stays valid for the life of the job.
 func (r *Rank) Waitall(reqs []*Request) []*Message {
-	msgs := r.job.allocMsgPtrs(len(reqs))
+	msgs := r.arena().allocMsgPtrs(len(reqs))
 	for i, q := range reqs {
 		msgs[i] = r.waitAs(q, trace.KindWait)
 	}
@@ -341,11 +373,12 @@ func (j *Job) matchEnvelope(env *envelope, req *Request) {
 		return
 	}
 	// Rendezvous: CTS travels back to the sender (one latency), then the
-	// data crosses the wire; both requests complete when it lands (see
-	// rendezvousCTS / rendezvousDone).
+	// data crosses the wire (see rendezvousCTS / rendezvousDone /
+	// rendezvousArrive). This runs on the receiver's partition; the CTS
+	// is a destination-to-source post.
 	src, dst := j.ranks[env.src], j.ranks[env.dst]
 	lat := j.net.Latency(src.place.Node, dst.place.Node)
-	j.env.AfterArg(lat, rendezvousCTS, env)
+	j.post(env.dst, env.src, lat, rendezvousCTS, env)
 }
 
 // finishRecv marks a matched receive whose data has arrived as complete
@@ -357,7 +390,7 @@ func (j *Job) finishRecv(env *envelope) bool {
 		return false
 	}
 	req.state = reqDone
-	m := j.newMessage()
+	m := j.arenaOf(env.dst).newMessage()
 	m.Src, m.Tag, m.ModelBytes, m.Data = env.src, env.tag, env.modelBytes, env.data
 	req.msg = m
 	return true

@@ -61,6 +61,20 @@ func HDR100() Spec {
 	}
 }
 
+// LatencyFloor returns the minimum virtual time any signal takes to
+// cross between two distinct nodes: the conservative lookahead of the
+// parallel engine (internal/sim/psim). No cross-node event scheduled by
+// a partition at time t can take effect on another partition before
+// t+floor, so all partitions may safely run ahead together inside a
+// window of that width. A fabric without a positive inter-node latency
+// admits no such window — that is an error, not an infinite lookahead.
+func (s Spec) LatencyFloor() (float64, error) {
+	if s.InterNodeLatency <= 0 {
+		return 0, fmt.Errorf("netsim: %s has no positive inter-node latency: zero-latency fabrics admit no conservative lookahead window", s.Name)
+	}
+	return s.InterNodeLatency, nil
+}
+
 // Validate checks the spec for inconsistencies.
 func (s Spec) Validate() error {
 	switch {
@@ -77,7 +91,7 @@ func (s Spec) Validate() error {
 // Network is the runtime interconnect instance for a job spanning a number
 // of nodes.
 type Network struct {
-	env   *sim.Env
+	rt    sim.Router
 	spec  Spec
 	nodes int
 
@@ -85,10 +99,11 @@ type Network struct {
 	nicIn  []*sim.PSResource // ejection per node
 	shmem  []*sim.PSResource // intra-node copy bandwidth per node
 
-	// pairChunk bump-allocates the two-flow join records used by
-	// inter-node StartTransferArg. The chunks die with the job (they are
+	// pairChunk bump-allocates, per source node, the join records used
+	// by inter-node StartTransferArg. Sharded by node so concurrent
+	// partitions never contend; the chunks die with the job (they are
 	// dropped on Reinit), so completions never alias across runs.
-	pairChunk []pairXfer
+	pairChunk [][]pairXfer
 }
 
 // nodeNames caches per-node resource names for common node counts so
@@ -123,34 +138,48 @@ func nodeName(kind int, i int) string {
 	}
 }
 
-// New creates a Network for the given node count.
+// New creates a Network for the given node count on a single serial
+// environment.
 func New(env *sim.Env, spec Spec, nodes int) *Network {
 	n := &Network{}
 	n.Reinit(env, spec, nodes)
 	return n
 }
 
-// Reinit repoints a pooled Network at a new environment, spec, and node
+// Reinit repoints a pooled Network at a new serial environment; see
+// ReinitRouted for the partition-aware form.
+func (n *Network) Reinit(env *sim.Env, spec Spec, nodes int) {
+	n.ReinitRouted(sim.UniRouter{E: env}, spec, nodes)
+}
+
+// ReinitRouted repoints a pooled Network at a new router, spec, and node
 // count, reusing the per-node resource structs (and their allocated flow
 // lists) from previous runs. Growth beyond the previous maximum node
-// count allocates only the new tail.
-func (n *Network) Reinit(env *sim.Env, spec Spec, nodes int) {
+// count allocates only the new tail. Each node's NIC and shared-memory
+// resources live on that node's partition environment, so partitions
+// only ever touch their own resources.
+func (n *Network) ReinitRouted(rt sim.Router, spec Spec, nodes int) {
 	if nodes <= 0 {
 		panic("netsim: network with no nodes")
 	}
-	n.env, n.spec, n.nodes = env, spec, nodes
-	n.pairChunk = nil
+	n.rt, n.spec, n.nodes = rt, spec, nodes
 	for len(n.nicOut) < nodes {
 		i := len(n.nicOut)
+		env := rt.NodeEnv(i)
 		n.nicOut = append(n.nicOut, sim.NewPSResource(env, nodeName(0, i), spec.LinkBandwidth, 0))
 		n.nicIn = append(n.nicIn, sim.NewPSResource(env, nodeName(1, i), spec.LinkBandwidth, 0))
 		n.shmem = append(n.shmem, sim.NewPSResource(env, nodeName(2, i),
 			spec.ShmemBandwidthPerNode, spec.ShmemPerFlowMax))
 	}
+	for len(n.pairChunk) < nodes {
+		n.pairChunk = append(n.pairChunk, nil)
+	}
 	for i := 0; i < nodes; i++ {
+		env := rt.NodeEnv(i)
 		n.nicOut[i].Reinit(env, nodeName(0, i), spec.LinkBandwidth, 0)
 		n.nicIn[i].Reinit(env, nodeName(1, i), spec.LinkBandwidth, 0)
 		n.shmem[i].Reinit(env, nodeName(2, i), spec.ShmemBandwidthPerNode, spec.ShmemPerFlowMax)
+		n.pairChunk[i] = nil
 	}
 }
 
@@ -172,9 +201,17 @@ func (n *Network) Latency(src, dst int) float64 {
 // protocol (true) or rendezvous (false).
 func (n *Network) Eager(bytes float64) bool { return bytes <= n.spec.EagerThreshold }
 
+// post schedules fn(arg) on node dst's partition delay seconds after
+// node src's current time.
+func (n *Network) post(src, dst int, delay float64, fn func(any), arg any) {
+	n.rt.Post(src, dst, n.rt.NodeEnv(src).Now()+delay, fn, arg)
+}
+
 // Transfer moves bytes from src node to dst node, blocking the calling
 // process for the wire time (excluding latency, which the caller pays
 // according to its protocol). Zero-byte transfers return immediately.
+// Serial-router only: it awaits the ejection flow from the sender's
+// partition, so the MPI runtime uses StartTransferArg instead.
 func (n *Network) Transfer(p *sim.Proc, src, dst int, bytes float64) {
 	if bytes <= 0 {
 		return
@@ -190,66 +227,94 @@ func (n *Network) Transfer(p *sim.Proc, src, dst int, bytes float64) {
 	in.Await(p)
 }
 
-// StartTransfer begins an asynchronous transfer and invokes done when the
-// bytes have fully arrived (used by the eager protocol, where the sender
-// does not block). The latency must be added by the caller via After.
+// callFunc adapts a captured func() to the static-callback transfer path.
+func callFunc(a any) { a.(func())() }
+
+// StartTransfer begins an asynchronous transfer and invokes done at the
+// destination when the bytes have fully arrived; the closure-capturing
+// convenience form of StartTransferArg.
 func (n *Network) StartTransfer(src, dst int, bytes float64, done func()) {
-	if bytes <= 0 {
-		if done != nil {
-			n.env.After(0, done)
-		}
+	if done == nil {
+		n.StartTransferArg(src, dst, bytes, nil, nil)
 		return
 	}
-	if src == dst {
-		n.shmem[src].StartFlow(2*bytes, done)
-		return
-	}
-	remaining := 2
-	complete := func() {
-		remaining--
-		if remaining == 0 && done != nil {
-			done()
-		}
-	}
-	n.nicOut[src].StartFlow(bytes, complete)
-	n.nicIn[dst].StartFlow(bytes, complete)
+	n.StartTransferArg(src, dst, bytes, callFunc, done)
 }
 
-// pairXfer joins the injection and ejection flows of one inter-node
-// transfer: the stored callback fires when the second flow completes.
+// pairXfer joins the legs of one inter-node transfer: the last byte
+// leaves the source wire one latency before it can be ejected, and the
+// stored callback fires at the destination when both the propagated
+// injection completion and the ejection flow have finished. It is
+// allocated on the source partition's arena; need, fn, and arg are only
+// touched on the destination partition after the cross-node handoff.
 type pairXfer struct {
-	remaining int
-	fn        func(any)
-	arg       any
+	net      *Network
+	src, dst int32
+	bytes    float64
+	need     int8
+	fn       func(any)
+	arg      any
 }
 
-// pairFlowDone is the static flow-completion callback for one half of an
-// inter-node transfer pair.
-func pairFlowDone(a any) {
-	p := a.(*pairXfer)
-	p.remaining--
-	if p.remaining == 0 && p.fn != nil {
-		p.fn(p.arg)
+// xferInjected fires on the source partition when the injection flow
+// drains: the last byte reaches the destination one latency later.
+func xferInjected(a any) {
+	x := a.(*pairXfer)
+	x.net.post(int(x.src), int(x.dst), x.net.spec.InterNodeLatency, xferLegDone, x)
+}
+
+// xferEject fires on the destination partition one latency after
+// injection began: the leading bytes start draining through the
+// destination NIC under its current contention.
+func xferEject(a any) {
+	x := a.(*pairXfer)
+	x.net.nicIn[x.dst].StartFlowArg(x.bytes, xferLegDone, x)
+}
+
+// xferLegDone joins the two destination-side completion legs (last byte
+// arrived, ejection flow drained); the transfer callback fires on the
+// later one.
+func xferLegDone(a any) {
+	x := a.(*pairXfer)
+	x.need--
+	if x.need == 0 && x.fn != nil {
+		x.fn(x.arg)
 	}
 }
 
-// StartTransferArg is the closure-free variant of StartTransfer: fn(arg)
-// fires when the bytes have fully arrived. fn should be a top-level
-// function; the inter-node join record comes from a per-job bump arena,
-// so steady-state transfers allocate nothing.
+// StartTransferArg begins an asynchronous transfer and fires fn(arg) on
+// the DESTINATION node's partition when the bytes have fully arrived.
+// fn should be a top-level function; the inter-node join record comes
+// from a per-job bump arena, so steady-state transfers allocate nothing.
+//
+// Inter-node transfers are cut-through: injection starts now on the
+// source NIC, ejection starts one wire latency later on the destination
+// NIC, and arrival is the later of "last byte left the source + one
+// latency" and "ejection flow drained". Every destination-side effect
+// therefore trails the source by at least the inter-node latency — the
+// property the conservative-lookahead window of internal/sim/psim is
+// built on. Zero-byte cross-node completions likewise arrive one
+// latency after the call.
 func (n *Network) StartTransferArg(src, dst int, bytes float64, fn func(any), arg any) {
-	if bytes <= 0 {
-		if fn != nil {
-			n.env.AfterArg(0, fn, arg)
-		}
-		return
-	}
 	if src == dst {
+		if bytes <= 0 {
+			if fn != nil {
+				n.rt.NodeEnv(src).AfterArg(0, fn, arg)
+			}
+			return
+		}
 		n.shmem[src].StartFlowArg(2*bytes, fn, arg)
 		return
 	}
-	p := sim.BumpAlloc(&n.pairChunk, 256)
-	p.remaining, p.fn, p.arg = 2, fn, arg
-	n.nicOut[src].StartFlowArg(bytes, pairFlowDone, p)
-	n.nicIn[dst].StartFlowArg(bytes, pairFlowDone, p)
+	if bytes <= 0 {
+		if fn != nil {
+			n.post(src, dst, n.spec.InterNodeLatency, fn, arg)
+		}
+		return
+	}
+	x := sim.BumpAlloc(&n.pairChunk[src], 256)
+	x.net, x.src, x.dst, x.bytes = n, int32(src), int32(dst), bytes
+	x.need, x.fn, x.arg = 2, fn, arg
+	n.nicOut[src].StartFlowArg(bytes, xferInjected, x)
+	n.post(src, dst, n.spec.InterNodeLatency, xferEject, x)
 }

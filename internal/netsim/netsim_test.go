@@ -19,6 +19,55 @@ func TestSpecValidate(t *testing.T) {
 	}
 }
 
+// TestLatencyFloor pins the conservative lookahead across fabric
+// variants: the floor is exactly the inter-node latency — intra-node
+// latency, bandwidth, and eager tuning never shrink or widen the
+// parallel engine's window — and fabrics without a positive inter-node
+// latency are rejected rather than given an unusable zero floor.
+func TestLatencyFloor(t *testing.T) {
+	hdr200 := HDR100()
+	hdr200.Name = "HDR200 InfiniBand fat-tree"
+	hdr200.LinkBandwidth *= 2
+	slowWire := HDR100()
+	slowWire.InterNodeLatency = 10e-6
+	tightIntra := HDR100()
+	tightIntra.IntraNodeLatency = 1e-12 // intra-node latency is not the floor
+	eagerOff := HDR100()
+	eagerOff.EagerThreshold = 0
+	zeroLat := HDR100()
+	zeroLat.InterNodeLatency = 0
+	negLat := HDR100()
+	negLat.InterNodeLatency = -1e-6
+	cases := []struct {
+		name    string
+		spec    Spec
+		want    float64
+		wantErr bool
+	}{
+		{"HDR100", HDR100(), 1.6e-6, false},
+		{"HDR200 double bandwidth", hdr200, 1.6e-6, false},
+		{"slow wire", slowWire, 10e-6, false},
+		{"tiny intra-node latency", tightIntra, 1.6e-6, false},
+		{"eager disabled", eagerOff, 1.6e-6, false},
+		{"zero inter-node latency", zeroLat, 0, true},
+		{"negative inter-node latency", negLat, 0, true},
+	}
+	for _, c := range cases {
+		got, err := c.spec.LatencyFloor()
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: no error for fabric without a lookahead window", c.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		} else if got != c.want {
+			t.Errorf("%s: floor %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestLatencySelection(t *testing.T) {
 	e := sim.NewEnv()
 	n := New(e, HDR100(), 2)
@@ -141,8 +190,14 @@ func TestDisjointPairsDoNotContend(t *testing.T) {
 }
 
 func TestStartTransferAsyncCompletion(t *testing.T) {
+	// Cut-through: injection takes 1.0 s of wire time, and the last byte
+	// lands one propagation latency after it leaves the source — arrival
+	// is 1.0 + InterNodeLatency, never earlier. This latency floor on
+	// every destination-side effect is what the conservative-lookahead
+	// window of internal/sim/psim relies on.
 	e := sim.NewEnv()
 	n := New(e, HDR100(), 2)
+	want := 1.0 + HDR100().InterNodeLatency
 	var arrived float64
 	e.Spawn("driver", func(p *sim.Proc) {
 		n.StartTransfer(0, 1, 12.5*units.G, func() { arrived = e.Now() })
@@ -152,8 +207,8 @@ func TestStartTransferAsyncCompletion(t *testing.T) {
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(arrived-1.0) > 1e-9 {
-		t.Fatalf("async arrival at %v, want 1.0", arrived)
+	if math.Abs(arrived-want) > 1e-9 {
+		t.Fatalf("async arrival at %v, want %v", arrived, want)
 	}
 }
 

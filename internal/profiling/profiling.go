@@ -11,6 +11,67 @@ import (
 	"sync"
 )
 
+// Options names the profile artifacts to collect; empty paths collect
+// nothing. Block and Mutex exist for the parallel simulation engine
+// (internal/sim/psim): window-barrier convoys show up as block-profile
+// time on the dispatch channel and WaitGroup, and coordination-lock
+// contention as mutex-profile time, neither of which a CPU profile can
+// attribute.
+type Options struct {
+	// CPU and Mem are the -cpuprofile / -memprofile artifacts.
+	CPU, Mem string
+	// Block collects goroutine blocking (channel waits, sync waits) at
+	// full rate for the run's duration.
+	Block string
+	// Mutex samples mutex contention at full rate for the run's duration.
+	Mutex string
+}
+
+// StartWith begins the requested profile collections and returns an
+// idempotent stop function that writes every requested artifact; see
+// Start. Block and mutex rates are restored to off at stop so profiling
+// cost is bounded by the profiled run.
+func StartWith(o Options) (func(), error) {
+	stop, err := Start(o.CPU, o.Mem)
+	if err != nil {
+		return nil, err
+	}
+	if o.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if o.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			stop()
+			if o.Block != "" {
+				writeLookup("block", o.Block)
+				runtime.SetBlockProfileRate(0)
+			}
+			if o.Mutex != "" {
+				writeLookup("mutex", o.Mutex)
+				runtime.SetMutexProfileFraction(0)
+			}
+		})
+	}, nil
+}
+
+// writeLookup dumps one named runtime profile, reporting (not failing
+// on) write errors, matching the stop path's best-effort contract.
+func writeLookup(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "profiling:", err)
+	}
+}
+
 // Start begins CPU profiling if cpuPath is non-empty and returns a stop
 // function that finishes the CPU profile and, if memPath is non-empty,
 // writes the cumulative allocation profile ("allocs", which includes the

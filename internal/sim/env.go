@@ -587,6 +587,58 @@ func (e *Env) RunUntil(t float64) error {
 	return nil
 }
 
+// RunBefore executes events with timestamps strictly below t and leaves
+// later events queued. The clock stays at the last executed event, so
+// events delivered afterwards at times >= t never land in the past. It
+// is the window-execution primitive of the conservative-lookahead
+// parallel engine: each partition runs RunBefore(window) concurrently,
+// then merges cross-partition messages at the barrier. No deadlock
+// check happens here — an empty queue only means this partition is
+// waiting for the next window.
+func (e *Env) RunBefore(t float64) error {
+	if e.stopped {
+		return fmt.Errorf("sim: environment already stopped")
+	}
+	for {
+		idx, fromHeap, ok := e.peekNext()
+		if !ok {
+			return nil
+		}
+		s := &e.slots[idx]
+		if s.time >= t {
+			return nil
+		}
+		if fromHeap {
+			e.heapPopMin()
+		} else {
+			e.nowHead++
+			s.pos = posDetached
+		}
+		e.now = s.time
+		e.dispatch(idx)
+		if e.failure != nil {
+			e.stopped = true
+			return e.failure
+		}
+	}
+}
+
+// NextEventTime returns the timestamp of the earliest queued live event,
+// or false when the queue is empty. The parallel engine uses it to
+// compute the global window floor between barriers.
+func (e *Env) NextEventTime() (float64, bool) {
+	idx, _, ok := e.peekNext()
+	if !ok {
+		return 0, false
+	}
+	return e.slots[idx].time, true
+}
+
+// CheckDeadlock reports parked processes on a drained environment; the
+// parallel engine calls it once every partition has run out of events
+// and no inter-partition messages remain.
+func (e *Env) CheckDeadlock() error { return e.deadlockError() }
+
 // deadlockError reports parked processes after the event queue drained.
 func (e *Env) deadlockError() error {
 	var stuck []*Proc

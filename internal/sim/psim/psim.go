@@ -1,0 +1,282 @@
+// Package psim is the conservative-lookahead parallel execution engine
+// for one large simulated job: it partitions a multi-node job into one
+// logical partition per node, each with its own event queue and clock
+// (a sim.Env), and advances all partitions concurrently inside safe
+// windows derived from the interconnect latency floor.
+//
+// The scheme is the classic null-message-free window synchronization
+// (YAWNS / bounded-lag Chandy-Misra): because every cross-node effect
+// trails its cause by at least the inter-node latency L (netsim's
+// cut-through transfer model guarantees this for headers, data legs,
+// CTS, and ACK alike), all partitions may execute events in
+// [T, T+L) concurrently, where T is the global minimum next-event time.
+// Cross-partition sends become timestamped mail collected in per-source
+// outboxes during the window and merged into the receivers' queues at
+// the barrier, ordered by (time, source partition, submission order) —
+// a canonical order independent of how the window's execution
+// interleaved. Each partition assigns its own (time, seq) tiebreaks
+// from its private counter, so the simulation is deterministic and
+// byte-identical for ANY worker count, including one. The serial
+// engine's identity to the partitioned one is pinned by the determinism
+// goldens in internal/spec.
+package psim
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/spechpc/spechpc-sim/internal/sim"
+)
+
+// mail is one cross-partition event in flight: fn(arg) scheduled at
+// absolute time t on the destination, posted by partition src.
+type mail struct {
+	t   float64
+	src int32
+	fn  func(any)
+	arg any
+}
+
+// partition is one per-node logical partition: its environment plus the
+// outboxes it fills during a window (indexed by destination partition).
+// Only the owning partition appends to its outboxes, so window
+// execution shares no mutable state between partitions.
+type partition struct {
+	env *sim.Env
+	out [][]mail
+}
+
+// Engine coordinates the window loop. It implements sim.Router: node i
+// maps to partition i, always — the partition structure is a property
+// of the job, not of the worker count, which is what makes output
+// independent of parallelism.
+type Engine struct {
+	parts     []*partition // live partitions: partStore[:nodes]
+	partStore []*partition
+	lookahead float64
+	workers   int
+
+	window float64 // current window end, set before dispatch
+	inbox  []mail  // per-destination merge scratch
+	work   chan *partition
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	err    error
+}
+
+// enginePool recycles Engine coordination state (partition structs,
+// outbox and merge buffers, worker channels) across jobs; the partition
+// environments themselves come from the sim environment pool.
+var enginePool = sync.Pool{New: func() any { return &Engine{} }}
+
+// Acquire returns an engine for a job spanning nodes partitions,
+// executed by up to workers concurrent executors, with the given
+// conservative lookahead (netsim.Spec.LatencyFloor). Each partition
+// gets a reset environment from the sim pool.
+func Acquire(nodes, workers int, lookahead float64) *Engine {
+	if nodes <= 0 {
+		panic("psim: engine with no partitions")
+	}
+	if lookahead <= 0 {
+		panic("psim: non-positive lookahead")
+	}
+	g := enginePool.Get().(*Engine)
+	g.lookahead = lookahead
+	g.workers = workers
+	if g.workers > nodes {
+		g.workers = nodes
+	}
+	for len(g.partStore) < nodes {
+		g.partStore = append(g.partStore, &partition{})
+	}
+	g.parts = g.partStore[:nodes]
+	for _, p := range g.parts {
+		p.env = sim.AcquireEnv()
+		for len(p.out) < nodes {
+			p.out = append(p.out, nil)
+		}
+	}
+	g.err = nil
+	return g
+}
+
+// Release returns clean partition environments to the sim pool and the
+// engine to its own pool. Environments of failed runs are abandoned to
+// the GC (blocked rank goroutines may still reference them), exactly as
+// the serial engine abandons its environment.
+func (g *Engine) Release() {
+	for _, p := range g.parts {
+		sim.ReleaseEnv(p.env)
+		p.env = nil
+		for d := range p.out {
+			// Drop any undelivered mail references (failed runs) so the
+			// pooled buffers do not pin callback arguments.
+			clear(p.out[d][:cap(p.out[d])])
+			p.out[d] = p.out[d][:0]
+		}
+	}
+	clear(g.inbox[:cap(g.inbox)])
+	g.inbox = g.inbox[:0]
+	g.parts = nil
+	enginePool.Put(g)
+}
+
+// NodeEnv returns the partition environment simulating the given node.
+func (g *Engine) NodeEnv(node int) *sim.Env { return g.parts[node].env }
+
+// Post schedules fn(arg) at absolute time t on node dst's partition.
+// Same-partition posts schedule directly; cross-partition posts go to
+// the source's outbox and are merged at the next window barrier. The
+// conservative contract — t is at least one lookahead past the source
+// clock — guarantees the destination has not advanced past t.
+func (g *Engine) Post(src, dst int, t float64, fn func(any), arg any) {
+	if src == dst {
+		g.parts[src].env.AtArg(t, fn, arg)
+		return
+	}
+	p := g.parts[src]
+	p.out[dst] = append(p.out[dst], mail{t: t, src: int32(src), fn: fn, arg: arg})
+}
+
+// Run executes the window loop to completion: deliver pending mail,
+// find the global minimum next-event time T, execute every partition's
+// events in [T, T+lookahead) concurrently, repeat. It returns the first
+// process panic, or a deadlock error if parked processes remain after
+// all queues and mailboxes drain.
+func (g *Engine) Run() error {
+	if g.workers > 1 {
+		// Workers receive the channel by value: the engine field is
+		// cleared on return while late-starting workers still read from
+		// the (closed) channel.
+		g.work = make(chan *partition)
+		for i := 0; i < g.workers; i++ {
+			go g.worker(g.work)
+		}
+		defer func() {
+			close(g.work)
+			g.work = nil
+		}()
+	}
+	for {
+		g.deliver()
+		t, ok := g.minNextEvent()
+		if !ok {
+			break
+		}
+		g.runWindow(t + g.lookahead)
+		if g.err != nil {
+			return g.err
+		}
+	}
+	for _, p := range g.parts {
+		if err := p.env.CheckDeadlock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliver merges every outbox into its destination queue, ordered by
+// (time, source partition, submission order). The order is canonical —
+// it depends only on the simulation, not on which worker ran what when —
+// so the destination's private seq counter assigns identical tiebreaks
+// on every run at every worker count.
+func (g *Engine) deliver() {
+	for d, pd := range g.parts {
+		box := g.inbox[:0]
+		for _, ps := range g.parts {
+			if len(ps.out[d]) > 0 {
+				box = append(box, ps.out[d]...)
+				clear(ps.out[d])
+				ps.out[d] = ps.out[d][:0]
+			}
+		}
+		if len(box) == 0 {
+			continue
+		}
+		sort.SliceStable(box, func(i, j int) bool {
+			if box[i].t != box[j].t {
+				return box[i].t < box[j].t
+			}
+			return box[i].src < box[j].src
+		})
+		for i := range box {
+			pd.env.AtArg(box[i].t, box[i].fn, box[i].arg)
+		}
+		clear(box)
+		g.inbox = box[:0]
+	}
+}
+
+// minNextEvent returns the earliest queued event time across partitions.
+func (g *Engine) minNextEvent() (float64, bool) {
+	var t float64
+	found := false
+	for _, p := range g.parts {
+		if nt, ok := p.env.NextEventTime(); ok && (!found || nt < t) {
+			t, found = nt, true
+		}
+	}
+	return t, found
+}
+
+// runWindow executes every partition with work before the window end,
+// concurrently when more than one is active and workers allow. A lone
+// active partition runs inline — the common tail pattern when one node
+// straggles — skipping the dispatch round trip.
+func (g *Engine) runWindow(w float64) {
+	g.window = w
+	var solo *partition
+	active := 0
+	for _, p := range g.parts {
+		if nt, ok := p.env.NextEventTime(); ok && nt < w {
+			active++
+			solo = p
+		}
+	}
+	if active == 0 {
+		return
+	}
+	if active == 1 {
+		g.runOne(solo)
+		return
+	}
+	if g.work == nil {
+		for _, p := range g.parts {
+			if nt, ok := p.env.NextEventTime(); ok && nt < w {
+				g.runOne(p)
+			}
+		}
+		return
+	}
+	g.wg.Add(active)
+	for _, p := range g.parts {
+		if nt, ok := p.env.NextEventTime(); ok && nt < w {
+			g.work <- p
+		}
+	}
+	g.wg.Wait()
+}
+
+// worker drains partition executions dispatched by runWindow. The
+// window bound read inside runOne is ordered by the channel handoff:
+// runWindow writes g.window before sending, the send happens-before the
+// receive, and wg.Wait keeps every worker parked between windows.
+func (g *Engine) worker(work chan *partition) {
+	for p := range work {
+		g.runOne(p)
+		g.wg.Done()
+	}
+}
+
+// runOne advances one partition to the window end, recording the first
+// failure.
+func (g *Engine) runOne(p *partition) {
+	if err := p.env.RunBefore(g.window); err != nil {
+		g.mu.Lock()
+		if g.err == nil {
+			g.err = err
+		}
+		g.mu.Unlock()
+	}
+}

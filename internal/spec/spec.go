@@ -40,6 +40,12 @@ type RunSpec struct {
 	KeepTrace bool
 	// Net overrides the interconnect (zero value = HDR100).
 	Net netsim.Spec
+	// SimWorkers > 1 executes a multi-node job on the conservative-
+	// lookahead parallel engine with that many concurrent partition
+	// executors (internal/sim/psim). Results are byte-identical at
+	// every worker count, so the field selects wall-clock strategy, not
+	// simulation semantics — campaign job keys deliberately exclude it.
+	SimWorkers int
 }
 
 // RunResult is the outcome of one verified benchmark execution.
@@ -87,10 +93,11 @@ func Run(rs RunSpec) (RunResult, error) {
 	var rep bench.RunReport
 	var runErr error
 	res, err := mpi.Run(mpi.Config{
-		Cluster: cluster,
-		Ranks:   rs.Ranks,
-		Trace:   rec,
-		Net:     rs.Net,
+		Cluster:    cluster,
+		Ranks:      rs.Ranks,
+		Trace:      rec,
+		Net:        rs.Net,
+		SimWorkers: rs.SimWorkers,
 	}, func(r *mpi.Rank) {
 		rr, err := b.Run(r, rs.Class, rs.Options)
 		mu.Lock()

@@ -5,7 +5,10 @@
 // minisweep "ripple", the lbm straggler) become visible.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Kind classifies what a rank is doing during an interval.
 type Kind int
@@ -82,11 +85,13 @@ func (e Event) Duration() float64 { return e.End - e.Start }
 
 // Recorder accumulates events. Per-kind time sums are always kept; full
 // event lists are kept only when created with keepEvents, since fine
-// timelines of large runs can be big.
+// timelines of large runs can be big. All mutable per-run state is
+// sharded by rank — each rank records only from its own (possibly
+// concurrently executing) partition, so recording needs no locking.
 type Recorder struct {
 	ranks      int
 	keepEvents bool
-	events     []Event
+	events     [][]Event   // [rank], each in time order
 	sums       [][]float64 // [rank][kind]
 }
 
@@ -96,6 +101,9 @@ func NewRecorder(ranks int, keepEvents bool) *Recorder {
 	r.sums = make([][]float64, ranks)
 	for i := range r.sums {
 		r.sums[i] = make([]float64, numKinds)
+	}
+	if keepEvents {
+		r.events = make([][]Event, ranks)
 	}
 	return r
 }
@@ -108,7 +116,7 @@ func (r *Recorder) Record(rank int, k Kind, t0, t1 float64, peer int) {
 	}
 	r.sums[rank][k] += t1 - t0
 	if r.keepEvents {
-		r.events = append(r.events, Event{Rank: rank, Kind: k, Start: t0, End: t1, Peer: peer})
+		r.events[rank] = append(r.events[rank], Event{Rank: rank, Kind: k, Start: t0, End: t1, Peer: peer})
 	}
 }
 
@@ -166,18 +174,30 @@ func (r *Recorder) MPIFraction() float64 {
 	return mpi / tot
 }
 
-// Events returns the recorded event list (empty unless keepEvents).
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns the recorded events of all ranks merged into one
+// timeline ordered by (Start, Rank) — a canonical order independent of
+// how rank execution interleaved, so serial and partitioned engines
+// render identical timelines. Empty unless keepEvents.
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for _, evs := range r.events {
+		out = append(out, evs...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
 
 // RankEvents returns the events of a single rank in time order.
 func (r *Recorder) RankEvents(rank int) []Event {
-	var out []Event
-	for _, e := range r.events {
-		if e.Rank == rank {
-			out = append(out, e)
-		}
+	if r.events == nil {
+		return nil
 	}
-	return out
+	return r.events[rank]
 }
 
 // Sums returns a deep copy of the per-rank, per-kind time sums — the

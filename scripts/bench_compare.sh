@@ -14,6 +14,7 @@
 #   scripts/bench_compare.sh record  [out.bench]       # default bench/baseline.bench
 #   scripts/bench_compare.sh compare [baseline.bench]  # gate fresh samples against a baseline
 #   scripts/bench_compare.sh fig5    [out.bench]       # headline macro benchmark samples
+#   scripts/bench_compare.sh workers [out.bench]       # -sim-workers 1/2/4/8 scaling sweep + table
 #   scripts/bench_compare.sh json    <in.bench> [out]  # benchfmt -> flat JSON means (stdout default)
 #
 # Environment:
@@ -72,8 +73,40 @@ fig5)
     mkdir -p "$(dirname "$OUT")"
     # The macro benchmark regenerates all of Fig. 5 per iteration, so one
     # iteration per sample and fewer samples keep the runtime sane.
-    run_benches "." 'BenchmarkFig5MultiNode' 1x "${BENCH_COUNT:-5}" > "$OUT"
+    run_benches "." '^BenchmarkFig5MultiNode$' 1x "${BENCH_COUNT:-5}" > "$OUT"
     echo "bench_compare: recorded $(count_benches "$OUT") headline macro samples to $OUT"
+    ;;
+workers)
+    # Sweep the partitioned-engine worker ladder on one Fig.5-class
+    # multi-node job and print a scaling table (mean ns/op, speedup vs
+    # the serial engine). Results are byte-identical at every worker
+    # count, so the sweep isolates execution strategy. With
+    # BENCH_MIN_SPEEDUP set, additionally gate workers=8 vs serial via
+    # benchgate -assert (as the CI psim gate does).
+    OUT="${2:-bench/workers.bench}"
+    mkdir -p "$(dirname "$OUT")"
+    run_benches "." '^BenchmarkFig5MultiNodeJob$' 1x "$COUNT" > "$OUT"
+    echo "bench_compare: recorded $(count_benches "$OUT") worker-sweep samples to $OUT"
+    awk '
+        /^BenchmarkFig5MultiNodeJob\// {
+            name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkFig5MultiNodeJob\//, "", name)
+            sum[name] += $3; n[name]++
+            if (!(name in seen)) { seen[name] = 1; order[++k] = name }
+        }
+        END {
+            if (!("serial" in sum)) { print "bench_compare: no serial samples"; exit 1 }
+            base = sum["serial"] / n["serial"]
+            printf "%-12s %14s %10s\n", "engine", "mean ns/op", "speedup"
+            for (i = 1; i <= k; i++) {
+                name = order[i]; mean = sum[name] / n[name]
+                printf "%-12s %14.0f %9.2fx\n", name, mean, base / mean
+            }
+        }' "$OUT"
+    if [ -n "${BENCH_MIN_SPEEDUP:-}" ]; then
+        go run ./cmd/benchgate -assert "$OUT" \
+            -faster 'Fig5MultiNodeJob/workers=8' -slower 'Fig5MultiNodeJob/serial' \
+            -min-speedup "$BENCH_MIN_SPEEDUP" -alpha "$ALPHA" -min-count "$MIN_COUNT"
+    fi
     ;;
 json)
     IN="${2:?usage: $0 json <in.bench> [out.json]}"
@@ -94,7 +127,7 @@ compare)
         -metric "$METRIC" -alpha "$ALPHA" -max-growth "$MAX_GROWTH" -min-count "$MIN_COUNT"
     ;;
 *)
-    echo "usage: $0 {record|compare|fig5|json} [file]" >&2
+    echo "usage: $0 {record|compare|fig5|workers|json} [file]" >&2
     exit 2
     ;;
 esac
