@@ -21,6 +21,7 @@ import (
 	_ "github.com/spechpc/spechpc-sim/internal/benchmarks/suite"
 	"github.com/spechpc/spechpc-sim/internal/figures"
 	"github.com/spechpc/spechpc-sim/internal/machine"
+	"github.com/spechpc/spechpc-sim/internal/mpi"
 	"github.com/spechpc/spechpc-sim/internal/netsim"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 	"github.com/spechpc/spechpc-sim/internal/trace"
@@ -72,14 +73,83 @@ func BenchmarkFig5MultiNodeJob(b *testing.B) {
 		Cluster: cs, Ranks: cs.MaxNodes * cs.CPU.CoresPerNode(),
 		Options: bench.Options{SimSteps: 1},
 	}
-	for _, w := range []int{0, 2, 4, 8} {
-		name := "serial"
-		if w > 0 {
-			name = fmt.Sprintf("workers=%d", w)
+	runMultiNodeJob(b, rs)
+}
+
+// BenchmarkPot3dMultiNodeJob is the compute-bound end of the kernel
+// spectrum: pot3d's memory-bound PCG phases between collectives, as the
+// counterpart to lbm's communication-heavy profile in the worker
+// scaling table (scripts/bench_compare.sh workers).
+func BenchmarkPot3dMultiNodeJob(b *testing.B) {
+	cs := machine.MustGet("ClusterA")
+	rs := spec.RunSpec{
+		Benchmark: "pot3d", Class: bench.Small,
+		Cluster: cs, Ranks: cs.MaxNodes * cs.CPU.CoresPerNode(),
+		Options: bench.Options{SimSteps: 1},
+	}
+	runMultiNodeJob(b, rs)
+}
+
+// BenchmarkComputeHeavyMultiNodeJob measures the regime the adaptive
+// earliest-output window targets: an under-populated cluster (eight
+// ranks per node, standard practice for bandwidth-bound codes) running
+// long compute stretches whose ranks drain memory/L3 flows at
+// core-staggered rates. Every node carries the same byte-class
+// multiset, so each interior flow-completion cluster lands on all
+// sixteen partitions at once and the static engine pays a full
+// multi-partition barrier for it; the adaptive oracle promises the
+// phase end and swallows the whole stretch in one window —
+// Result.Psim records the collapse (~1.6k static windows to ~100).
+// This is the job the CI adaptive gate asserts on: workers=8 (adaptive,
+// the default) vs static-workers=8 via benchgate -assert.
+func BenchmarkComputeHeavyMultiNodeJob(b *testing.B) {
+	cs := *machine.MustGet("ClusterA")
+	cs.CPU.CoresPerSocket = 4
+	cs.CPU.DomainsPerSocket = 1
+	cpn := cs.CPU.CoresPerNode()
+	body := func(r *mpi.Rank) {
+		for step := 0; step < 2; step++ {
+			for iter := 0; iter < 48; iter++ {
+				r.Compute(machine.Phase{
+					Name:        "stencil",
+					FlopsScalar: 50 * units.M,
+					BytesMem:    units.M * float64(1+r.ID()%cpn),
+					BytesL3:     units.M * float64(1+r.ID()%cpn),
+				})
+			}
+			r.Allreduce([]float64{1}, 8, mpi.OpSum)
 		}
+	}
+	run := func(name string, workers int, static bool) {
+		b.Run(name, func(b *testing.B) {
+			cfg := mpi.Config{
+				Cluster: &cs, Ranks: cs.MaxNodes * cpn,
+				SimWorkers: workers, StaticWindows: static,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := mpi.Run(cfg, body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("serial", 0, false)
+	for _, w := range []int{2, 4, 8} {
+		run(fmt.Sprintf("workers=%d", w), w, false)
+	}
+	run("static-workers=8", 8, true)
+}
+
+// runMultiNodeJob emits the shared sub-benchmark ladder: the serial
+// engine, the partitioned engine at rising worker counts (adaptive
+// windows, the default), and the saturated worker count pinned to
+// static latency-floor windows as the adaptive baseline.
+func runMultiNodeJob(b *testing.B, rs spec.RunSpec) {
+	run := func(name string, workers int, static bool) {
 		b.Run(name, func(b *testing.B) {
 			job := rs
-			job.SimWorkers = w
+			job.SimWorkers = workers
+			job.SimStaticWindows = static
 			for i := 0; i < b.N; i++ {
 				if _, err := spec.Run(job); err != nil {
 					b.Fatal(err)
@@ -87,6 +157,11 @@ func BenchmarkFig5MultiNodeJob(b *testing.B) {
 			}
 		})
 	}
+	run("serial", 0, false)
+	for _, w := range []int{2, 4, 8} {
+		run(fmt.Sprintf("workers=%d", w), w, false)
+	}
+	run("static-workers=8", 8, true)
 }
 func BenchmarkFig6PowerEnergy(b *testing.B)  { runExperiment(b, figures.Fig6) }
 func BenchmarkTextScalingCases(b *testing.B) { runExperiment(b, figures.TextCases) }

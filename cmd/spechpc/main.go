@@ -40,6 +40,7 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/profiling"
 	"github.com/spechpc/spechpc-sim/internal/report"
 	"github.com/spechpc/spechpc-sim/internal/scenario"
+	"github.com/spechpc/spechpc-sim/internal/sim/psim"
 	"github.com/spechpc/spechpc-sim/internal/spec"
 	"github.com/spechpc/spechpc-sim/internal/trace"
 	"github.com/spechpc/spechpc-sim/internal/units"
@@ -67,6 +68,9 @@ func main() {
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file on exit")
 	simWorkers := flag.Int("sim-workers", 0,
 		"intra-job parallel engine workers for multi-node jobs (0 = let the scheduler grant idle cores, -1 = always serial)")
+	simStatic := flag.Bool("sim-static", false,
+		"pin the parallel engine to static latency-floor windows (default: adaptive earliest-output widening; results are identical)")
+	verbose := flag.Bool("v", false, "print parallel-engine window statistics to stderr")
 	flag.Parse()
 
 	stop, err := profiling.StartWith(profiling.Options{
@@ -104,12 +108,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		engine := newEngine(*parallel, *cacheDir, *simWorkers)
+		engine := newEngine(*parallel, *cacheDir, *simWorkers, *simStatic)
 		p := &scenario.Planner{Engine: engine}
 		if err := p.Execute(sc, os.Stdout, *outDir); err != nil {
 			fatal(err)
 		}
-		reportStats(engine, *cacheDir)
+		reportStats(engine, *cacheDir, *verbose)
 		return
 	}
 	if *name == "" {
@@ -132,8 +136,8 @@ func main() {
 		fatal(err)
 	}
 
-	engine := newEngine(*parallel, *cacheDir, *simWorkers)
-	defer reportStats(engine, *cacheDir)
+	engine := newEngine(*parallel, *cacheDir, *simWorkers, *simStatic)
+	defer reportStats(engine, *cacheDir, *verbose)
 	base := spec.RunSpec{
 		Benchmark: *name,
 		Class:     class,
@@ -325,22 +329,35 @@ func runSweep(engine *campaign.Engine, base spec.RunSpec, points []int) error {
 
 // newEngine builds the campaign engine, attaching the persistent store
 // when -cache-dir is set and applying the -sim-workers grant policy.
-func newEngine(workers int, cacheDir string, simWorkers int) *campaign.Engine {
+func newEngine(workers int, cacheDir string, simWorkers int, simStatic bool) *campaign.Engine {
 	engine, err := campaign.NewWithCacheDir(workers, cacheDir)
 	if err != nil {
 		fatal(err)
 	}
 	engine.Scheduler().SetSimWorkers(simWorkers)
+	engine.Scheduler().SetStaticWindows(simStatic)
 	return engine
 }
 
 // reportStats prints the campaign cache counters to stderr when a
-// persistent store is in play.
-func reportStats(engine *campaign.Engine, cacheDir string) {
-	if cacheDir == "" {
+// persistent store is in play, and — under -v — the parallel engine's
+// window accounting.
+func reportStats(engine *campaign.Engine, cacheDir string, verbose bool) {
+	if cacheDir != "" {
+		fmt.Fprintln(os.Stderr, engine.Stats())
+	}
+	if !verbose {
 		return
 	}
-	fmt.Fprintln(os.Stderr, engine.Stats())
+	pt := psim.Snapshot()
+	if pt.Runs == 0 {
+		fmt.Fprintln(os.Stderr, "psim: no partitioned runs (serial engine only)")
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"psim: %d runs (%d adaptive), %d windows (%d widened), %d mail merged, %d idle partition-windows, window span %.3gs..%.3gs\n",
+		pt.Runs, pt.AdaptiveRuns, pt.Windows, pt.AdaptiveWindows,
+		pt.Mail, pt.IdleParts, pt.Narrowest, pt.Widest)
 }
 
 // stopProfiling flushes any active profiles; fatal exits skip deferred

@@ -148,7 +148,8 @@ func field(v reflect.Value, path []int) reflect.Value {
 // guarantee SimWorkers has (pinned by the parity goldens in
 // internal/spec).
 var keyExempt = map[string]bool{
-	"RunSpec.SimWorkers": true,
+	"RunSpec.SimWorkers":       true,
+	"RunSpec.SimStaticWindows": true,
 }
 
 // TestKeyCoversEveryField perturbs every exported scalar field reachable

@@ -217,6 +217,11 @@ type Scheduler struct {
 	// -1 never grants, n > 0 forces n workers onto every eligible job.
 	simWorkers int
 
+	// staticWindows pins granted partitioned jobs to static latency-floor
+	// windows (SetStaticWindows); wall-clock strategy only, results and
+	// job keys are unaffected.
+	staticWindows bool
+
 	mu      sync.Mutex
 	cache   map[string]*schedJob // every key ever submitted (minus cancelled/evicted)
 	queue   jobQueue
@@ -315,6 +320,19 @@ func (s *Scheduler) SetSimWorkers(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.simWorkers = n
+}
+
+// SetStaticWindows disables the partitioned engine's adaptive window
+// widening for every job this scheduler grants workers to, pinning the
+// static latency-floor windows (spec.RunSpec.SimStaticWindows). Like
+// SetSimWorkers it selects wall-clock strategy only: results stay
+// byte-identical and job keys are unchanged, so flipping it never splits
+// the memo or the persistent store. Intended for benchmarking and
+// engine bisection. Call before submitting work.
+func (s *Scheduler) SetStaticWindows(static bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.staticWindows = static
 }
 
 // grantWorkersLocked decides the intra-job worker grant for a job about
@@ -531,6 +549,9 @@ func (s *Scheduler) worker() {
 		// still visible; the granted spec shares the job's key (SimWorkers
 		// is execution strategy, not identity).
 		rs := withSimWorkers(j.rs, s.grantWorkersLocked())
+		if rs.SimWorkers > 1 && s.staticWindows {
+			rs.SimStaticWindows = true
+		}
 		s.mu.Unlock()
 
 		res, err := s.execute(j.key, rs)

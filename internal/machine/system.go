@@ -19,9 +19,21 @@ type System struct {
 	l3Res  []*sim.PSResource
 
 	rank []RankStats
+	// bound tracks each rank's in-progress compute phase for the
+	// adaptive-lookahead oracle; see PhaseEndFloor.
+	bound []computeBound
 
 	finished bool
 	wall     float64
+}
+
+// computeBound is the conservative promise a rank makes while inside
+// Compute: the phase cannot end before the fixed in-core time elapses
+// nor before its L3/memory flows can possibly drain. All fields are
+// zero outside a compute phase.
+type computeBound struct {
+	until   float64
+	l3, mem *sim.Flow
 }
 
 // RankStats accumulates raw counters for one rank. All quantities are
@@ -139,6 +151,13 @@ func (s *System) ReinitRouted(rt sim.Router, spec *ClusterSpec, n int) {
 	for r := range s.rank {
 		s.rank[r] = RankStats{Placement: spec.Place(r)}
 	}
+	for len(s.bound) < n {
+		s.bound = append(s.bound, computeBound{})
+	}
+	s.bound = s.bound[:n]
+	for r := range s.bound {
+		s.bound[r] = computeBound{}
+	}
 }
 
 // Env returns the simulation environment.
@@ -184,6 +203,7 @@ func (s *System) Compute(p *sim.Proc, rank int, ph Phase) {
 	if ph.BytesMem > 0 {
 		memFlow = s.memRes[dom].StartFlow(ph.BytesMem, nil)
 	}
+	s.bound[rank] = computeBound{until: start + tFixed, l3: l3Flow, mem: memFlow}
 	if tFixed > 0 {
 		p.Wait(tFixed)
 	}
@@ -193,6 +213,7 @@ func (s *System) Compute(p *sim.Proc, rank int, ph Phase) {
 	if memFlow != nil {
 		memFlow.Await(p)
 	}
+	s.bound[rank] = computeBound{}
 	dur := p.Now() - start
 	stall := dur - tFixed
 	if stall < 0 {
@@ -207,6 +228,29 @@ func (s *System) Compute(p *sim.Proc, rank int, ph Phase) {
 	st.TimeExec += tFixed
 	st.TimeStall += stall
 	st.EnergyDyn += ph.HeatFrac*cpu.CoreDynMaxPower*tFixed + cpu.CoreStallPower*stall
+}
+
+// PhaseEndFloor returns a lower bound on the virtual time the rank's
+// in-progress compute phase can end: the fixed in-core deadline and the
+// earliest possible finish of its L3/memory flows, whichever is latest.
+// The flow bounds self-refresh as resources drain (Flow.EarliestFinish
+// accounts accrued work), so a stale promise tightens at every barrier
+// rather than pinning the window. Only meaningful while the rank is
+// inside Compute; the MPI oracle guards on its own park state.
+func (s *System) PhaseEndFloor(rank int) float64 {
+	b := &s.bound[rank]
+	t := b.until
+	if b.l3 != nil {
+		if ef := b.l3.EarliestFinish(); ef > t {
+			t = ef
+		}
+	}
+	if b.mem != nil {
+		if ef := b.mem.EarliestFinish(); ef > t {
+			t = ef
+		}
+	}
+	return t
 }
 
 // AccountMPI charges dt seconds of MPI busy-wait time (and its power) to a

@@ -19,7 +19,9 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/netsim"
@@ -54,6 +56,12 @@ type Config struct {
 	// SimWorkers <= 1 run serially. Requires a fabric with a positive
 	// latency floor.
 	SimWorkers int
+	// StaticWindows disables the adaptive earliest-output-time window
+	// widening of the partitioned engine, pinning every window to the
+	// fabric latency floor (the pre-adaptive behavior). Results are
+	// byte-identical either way; the knob exists for benchmarking and
+	// bisection. Ignored on the serial path.
+	StaticWindows bool
 }
 
 // Result is the outcome of a simulated job.
@@ -64,6 +72,10 @@ type Result struct {
 	Trace *trace.Recorder
 	// Wall is the job wall-clock virtual time in seconds.
 	Wall float64
+	// Partitioned reports whether the job ran on the parallel engine;
+	// Psim then holds its window statistics (zero for serial runs).
+	Partitioned bool
+	Psim        psim.Stats
 }
 
 // Job is the runtime state of a simulated MPI application. Jobs are
@@ -97,7 +109,116 @@ type Job struct {
 	allRanks []int
 	leaders  []int
 	cpn      int
+
+	// Adaptive-lookahead oracle state (attachOracle). pending counts
+	// live point-to-point protocol activity per node, from both sides:
+	// an Isend increments the source AND destination node, and each
+	// side's count drops when its last possible protocol event has
+	// provably fired — eager sources at data arrival (the wire
+	// injection strictly precedes it), eager destinations once header
+	// and data have both landed, rendezvous both sides during the
+	// quiescent gap between header arrival and match (re-armed with the
+	// CTS) and finally at the transfer completion and delivery ack.
+	// While a node's count is nonzero, protocol events not owned by any
+	// rank's park state may still produce cross-node output, so its
+	// oracle makes no promise. The counters are atomics because a
+	// remote partition's events adjust this node's count mid-window;
+	// they are read only at window barriers, after the engine's
+	// wg.Wait.
+	oracleOn bool
+	pending  []pendingCount
+	oracles  []nodeOracle
 }
+
+// pendingCount pads each node's envelope counter to its own cache
+// line: the counters are the one piece of state partition executors
+// update from several OS threads at once (an Isend bumps both
+// endpoints' nodes), and unpadded they pack 8 to a line — hot protocol
+// paths of unrelated nodes would false-share every increment.
+type pendingCount struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// nodeOracle is one node's sim.OutputOracle: a conservative promise
+// about the node's next cross-partition send, derived from the park
+// state of its ranks. The engine reads it only at window barriers.
+type nodeOracle struct {
+	j    *Job
+	node int
+}
+
+// EarliestOutputTime returns a lower bound on the node's next
+// cross-node send. No promise (-Inf, collapsing to the static window)
+// whenever any protocol envelope touching the node is unsettled or any
+// rank is mid-MPI-call; otherwise the earliest compute-phase end floor
+// over computing ranks. Blocked ranks contribute no bound of their own:
+// every path that could wake one is covered elsewhere — incoming or
+// in-flight protocol events by the pending counter, local compute
+// completions by their floor, and anything already queued by the
+// environment's next-event bound (sim.Env.EarliestOutput takes the max
+// with it). Nodes where every rank is blocked or done promise +Inf,
+// which the environment honors only when its event queue is empty, so
+// a deadlocked partition never gates other partitions' windows and is
+// still reported by the normal drain-and-check path.
+func (o *nodeOracle) EarliestOutputTime() float64 {
+	j := o.j
+	if j.pending[o.node].n.Load() != 0 {
+		return math.Inf(-1)
+	}
+	bound := math.Inf(1)
+	lo := o.node * j.cpn
+	hi := lo + j.cpn
+	if hi > len(j.ranks) {
+		hi = len(j.ranks)
+	}
+	for _, r := range j.ranks[lo:hi] {
+		switch r.oState {
+		case oComputing:
+			if f := j.sys.PhaseEndFloor(r.id); f < bound {
+				bound = f
+			}
+		case oBlocked:
+			// Parked in a wait; cannot send until woken.
+		default: // oActive: mid-call, next action rides a queued event.
+			return math.Inf(-1)
+		}
+	}
+	return bound
+}
+
+// notePending adjusts the unsettled-envelope count of a rank's node.
+// No-op outside adaptive partitioned runs.
+func (j *Job) notePending(rank int, d int64) {
+	if j.oracleOn {
+		j.pending[j.ranks[rank].place.Node].n.Add(d)
+	}
+}
+
+// attachOracle wires the per-node earliest-output oracle into the
+// partition environments and arms the pending counters. Called after
+// init (the environments exist) and before the engine runs.
+func (j *Job) attachOracle(eng *psim.Engine, nodes int) {
+	if len(j.pending) < nodes {
+		j.pending = make([]pendingCount, nodes)
+	}
+	for i := range j.pending {
+		j.pending[i].n.Store(0)
+	}
+	if len(j.oracles) < nodes {
+		j.oracles = make([]nodeOracle, nodes)
+	}
+	for node := 0; node < nodes; node++ {
+		j.oracles[node] = nodeOracle{j: j, node: node}
+		eng.NodeEnv(node).SetOutputOracle(&j.oracles[node])
+	}
+	j.oracleOn = true
+}
+
+// testOracleCheck, when set by tests, runs after a successful
+// partitioned run with the job still intact (invariant checks on the
+// oracle state).
+var testOracleCheck func(*Job)
 
 // partArena is one node's bump arenas (sim.BumpAlloc) for protocol
 // objects. Envelopes, requests, and messages all die with the job, so
@@ -257,7 +378,20 @@ type Rank struct {
 	collSeq    int
 	collKind   trace.Kind
 	inColl     bool
+	// oState is the rank's park state as seen by the adaptive-lookahead
+	// oracle. Written only by the rank's own partition; read by the
+	// engine coordinator at window barriers (ordered by the barrier's
+	// wg.Wait / channel handoff).
+	oState uint8
 }
+
+// Oracle park states. oActive is the zero value: any rank not known to
+// be in a promisable state makes no promise.
+const (
+	oActive    uint8 = iota // running or mid-MPI-call
+	oComputing              // inside Rank.Compute: promise PhaseEndFloor
+	oBlocked                // parked in a wait, or finished: silent until woken
+)
 
 // boundsScratch returns the rank's reusable [n][2]int table for the
 // reduce-scatter/allgather segment arithmetic.
@@ -326,19 +460,28 @@ func runPartitioned(cfg Config, nodes int, body func(r *Rank)) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("mpi: SimWorkers=%d: %w", cfg.SimWorkers, err)
 	}
-	eng := psim.Acquire(nodes, cfg.SimWorkers, floor)
+	adaptive := !cfg.StaticWindows
+	eng := psim.Acquire(nodes, cfg.SimWorkers, floor, adaptive)
 	job := jobPool.Get().(*Job)
 	job.init(eng, cfg, body)
+	if adaptive {
+		job.attachOracle(eng, nodes)
+	}
 	if err := eng.Run(); err != nil {
 		// Failed runs abandon the job (blocked rank goroutines may still
 		// reference it); the engine releases what stayed clean.
 		eng.Release()
 		return Result{}, err
 	}
+	if testOracleCheck != nil {
+		testOracleCheck(job)
+	}
 	u := job.sys.Usage()
+	st := eng.Stats()
 	eng.Release()
 	job.release()
-	return Result{Usage: u, Trace: cfg.Trace, Wall: u.Wall}, nil
+	return Result{Usage: u, Trace: cfg.Trace, Wall: u.Wall,
+		Partitioned: true, Psim: st}, nil
 }
 
 // init prepares a pooled Job for one run: reinitializes the machine and
@@ -350,6 +493,7 @@ func runPartitioned(cfg Config, nodes int, body func(r *Rank)) (Result, error) {
 func (j *Job) init(rt sim.Router, cfg Config, body func(r *Rank)) {
 	n := cfg.Ranks
 	j.rt, j.rec = rt, cfg.Trace
+	j.oracleOn = false // armed separately by attachOracle
 	if j.sys == nil {
 		j.sys = &machine.System{}
 	}
@@ -394,6 +538,9 @@ func (j *Job) init(rt sim.Router, cfg Config, body func(r *Rank)) {
 		r.runFn = func(p *sim.Proc) {
 			r.proc = p
 			r.body(r)
+			// A finished rank never sends again: permanently silent to
+			// the oracle.
+			r.oState = oBlocked
 			r.job.sys.RankFinished(r.id, p.Now())
 		}
 		j.rankStore = append(j.rankStore, r)
@@ -403,6 +550,7 @@ func (j *Job) init(rt sim.Router, cfg Config, body func(r *Rank)) {
 		r.place = cfg.Cluster.Place(i)
 		r.body = body
 		r.collSeq, r.collKind, r.inColl = 0, 0, false
+		r.oState = oActive
 		// Each rank lives on the partition simulating its node; under
 		// the serial router every node maps to the same environment.
 		r.proc = rt.NodeEnv(r.place.Node).Spawn(rankName(i), r.runFn)
@@ -462,10 +610,14 @@ func (r *Rank) Now() float64 { return r.proc.Now() }
 func (r *Rank) Cluster() *machine.ClusterSpec { return r.job.sys.Spec() }
 
 // Compute executes a compute phase on this rank's core through the
-// machine model and records it on the trace timeline.
+// machine model and records it on the trace timeline. For the duration
+// of the phase the rank promises the oracle it cannot send before the
+// phase's end floor (machine.System.PhaseEndFloor).
 func (r *Rank) Compute(ph machine.Phase) {
 	t0 := r.proc.Now()
+	r.oState = oComputing
 	r.job.sys.Compute(r.proc, r.id, ph)
+	r.oState = oActive
 	r.job.rec.Record(r.id, trace.KindCompute, t0, r.proc.Now(), -1)
 }
 

@@ -73,7 +73,9 @@ func (r *Rank) Waitany(reqs []*Request) int {
 				return i
 			}
 		}
+		r.oState = oBlocked
 		r.proc.Park("mpi waitany")
+		r.oState = oActive
 	}
 }
 
@@ -84,15 +86,16 @@ func (r *Rank) Waitany(reqs []*Request) int {
 // advance through static callbacks (sim.AfterArg / netsim.StartTransferArg)
 // instead of per-message closures.
 type envelope struct {
-	job         *Job
-	src, dst    int
-	tag         int
-	modelBytes  float64
-	data        []float64
-	eager       bool
-	dataArrived bool
-	sendReq     *Request
-	recvReq     *Request
+	job           *Job
+	src, dst      int
+	tag           int
+	modelBytes    float64
+	data          []float64
+	eager         bool
+	dataArrived   bool
+	headerArrived bool
+	sendReq       *Request
+	recvReq       *Request
 }
 
 // envHeaderArrive, eagerDataArrived, rendezvousCTS, and rendezvousDone
@@ -106,6 +109,16 @@ func envHeaderArrive(a any) {
 func eagerDataArrived(a any) {
 	env := a.(*envelope)
 	env.dataArrived = true
+	// The source side settles here: the sender's last protocol event —
+	// the wire injection — strictly precedes data arrival at the
+	// destination. The destination settles once header AND data have
+	// arrived; whichever event fires second performs the decrement. An
+	// unmatched-but-fully-arrived eager envelope holds no count: it has
+	// no future events, and the eventual receive completes locally.
+	env.job.notePending(env.src, -1)
+	if env.headerArrived {
+		env.job.notePending(env.dst, -1)
+	}
 	if env.recvReq != nil {
 		env.job.completeRecv(env)
 	}
@@ -136,6 +149,7 @@ func rendezvousDone(a any) {
 	j := env.job
 	env.dataArrived = true
 	env.sendReq.state = reqDone
+	j.notePending(env.src, -1) // source side settles with the copy
 	if j.finishRecv(env) {
 		j.wakePair(env.src, env.dst)
 	} else {
@@ -161,6 +175,7 @@ func rendezvousArrive(a any) {
 func rendezvousAck(a any) {
 	env := a.(*envelope)
 	env.sendReq.state = reqDone
+	env.job.notePending(env.src, -1) // last source-side protocol event
 	env.job.wake(env.src)
 }
 
@@ -194,6 +209,12 @@ func (r *Rank) Isend(dst, tag int, data []float64, modelBytes float64) *Request 
 	req.rank, req.send, req.peer, req.tag, req.env = r, true, dst, tag, env
 	env.sendReq = req
 	env.eager = j.net.Eager(modelBytes)
+	// The envelope is now in flight on both sides: until each side's
+	// protocol events settle (see Job.pending), neither node's oracle
+	// may promise a send bound — wire legs, CTS, and acks can all
+	// produce cross-node output at their own event times.
+	j.notePending(r.id, 1)
+	j.notePending(dst, 1)
 
 	srcNode, dstNode := r.place.Node, j.ranks[dst].place.Node
 	lat := j.net.Latency(srcNode, dstNode)
@@ -252,8 +273,12 @@ func (r *Rank) waitAs(q *Request, kind trace.Kind) *Message {
 	t0 := r.proc.Now()
 	for q.state != reqDone {
 		// The reason string is the MPI call class; Kind.String returns a
-		// constant, so parking allocates nothing.
+		// constant, so parking allocates nothing. While parked the rank
+		// is silent to the adaptive-lookahead oracle: it cannot send
+		// until something else wakes it.
+		r.oState = oBlocked
 		r.proc.Park(kind.String())
+		r.oState = oActive
 	}
 	r.mpiInterval(kind, t0, q.peer)
 	return q.msg
@@ -352,6 +377,21 @@ func matches(req *Request, env *envelope) bool {
 // headerArrive delivers an envelope header at the destination: match a
 // posted receive or queue as unexpected.
 func (j *Job) headerArrive(env *envelope) {
+	env.headerArrived = true
+	if env.eager {
+		if env.dataArrived {
+			j.notePending(env.dst, -1)
+		}
+	} else {
+		// A rendezvous envelope goes quiescent once its header lands:
+		// neither side has another protocol event until the receiver
+		// matches it (matchEnvelope re-arms both counts before the CTS).
+		// Without this an early sender would suppress its own and the
+		// receiving node's window promises for the whole time the
+		// receiver is still computing.
+		j.notePending(env.src, -1)
+		j.notePending(env.dst, -1)
+	}
 	dst := j.ranks[env.dst]
 	if req := dst.matchPosted(env); req != nil {
 		j.matchEnvelope(env, req)
@@ -375,7 +415,11 @@ func (j *Job) matchEnvelope(env *envelope, req *Request) {
 	// Rendezvous: CTS travels back to the sender (one latency), then the
 	// data crosses the wire (see rendezvousCTS / rendezvousDone /
 	// rendezvousArrive). This runs on the receiver's partition; the CTS
-	// is a destination-to-source post.
+	// is a destination-to-source post. The envelope leaves its quiescent
+	// period here: both sides re-arm their pending counts before the
+	// CTS is in flight (headerArrive dropped them at header delivery).
+	j.notePending(env.src, 1)
+	j.notePending(env.dst, 1)
 	src, dst := j.ranks[env.src], j.ranks[env.dst]
 	lat := j.net.Latency(src.place.Node, dst.place.Node)
 	j.post(env.dst, env.src, lat, rendezvousCTS, env)
@@ -390,6 +434,13 @@ func (j *Job) finishRecv(env *envelope) bool {
 		return false
 	}
 	req.state = reqDone
+	// A rendezvous destination settles here: its last output-capable
+	// event — the transfer completion that may post the delivery ack —
+	// is the one calling finishRecv. Eager envelopes settled both sides
+	// already at header/data arrival (see eagerDataArrived).
+	if !env.eager {
+		j.notePending(env.dst, -1)
+	}
 	m := j.arenaOf(env.dst).newMessage()
 	m.Src, m.Tag, m.ModelBytes, m.Data = env.src, env.tag, env.modelBytes, env.data
 	req.msg = m

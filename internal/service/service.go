@@ -62,6 +62,7 @@ import (
 	"github.com/spechpc/spechpc-sim/internal/fleet"
 	"github.com/spechpc/spechpc-sim/internal/machine"
 	"github.com/spechpc/spechpc-sim/internal/scenario"
+	"github.com/spechpc/spechpc-sim/internal/sim/psim"
 	"github.com/spechpc/spechpc-sim/internal/surrogate"
 )
 
@@ -278,6 +279,23 @@ type statszResponse struct {
 	// Fleet is present in coordinator mode: worker health plus dispatch
 	// retry/reshard counters.
 	Fleet *statszFleet `json:"fleet,omitempty"`
+	// Psim is the process-wide partitioned-engine window accounting:
+	// how many runs used the parallel engine, how many windows they
+	// executed, and how far the adaptive oracle widened them.
+	Psim statszPsim `json:"psim"`
+}
+
+// statszPsim mirrors psim.Totals for scrapes; window spans are virtual
+// seconds.
+type statszPsim struct {
+	Runs            int64   `json:"runs"`
+	AdaptiveRuns    int64   `json:"adaptive_runs"`
+	Windows         int64   `json:"windows"`
+	AdaptiveWindows int64   `json:"adaptive_windows"`
+	Mail            int64   `json:"mail_merged"`
+	IdleParts       int64   `json:"idle_partition_windows"`
+	WidestWindow    float64 `json:"widest_window_s"`
+	NarrowestWindow float64 `json:"narrowest_window_s"`
 }
 
 // statszFleet is the coordinator's worker-health and dispatch view.
@@ -366,6 +384,17 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			Models: fitted, Families: families, Observed: observed,
 			Hits: hits, Refused: refused, NoModel: noModel,
 		}
+	}
+	pt := psim.Snapshot()
+	resp.Psim = statszPsim{
+		Runs:            pt.Runs,
+		AdaptiveRuns:    pt.AdaptiveRuns,
+		Windows:         pt.Windows,
+		AdaptiveWindows: pt.AdaptiveWindows,
+		Mail:            pt.Mail,
+		IdleParts:       pt.IdleParts,
+		WidestWindow:    pt.Widest,
+		NarrowestWindow: pt.Narrowest,
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -154,6 +154,39 @@ func TestJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestStatszPsimWindows submits a multi-node job to an otherwise-idle
+// server — the scheduler donates its worker budget, so the job runs on
+// the partitioned engine in adaptive mode — and checks /statsz reports
+// the engine's window accounting.
+func TestStatszPsimWindows(t *testing.T) {
+	_, ts, _ := newTestServer(t, nil)
+
+	var before statszResponse
+	doJSON(t, http.MethodGet, ts.URL+"/statsz", "", &before)
+
+	var sub jobStatus
+	doJSON(t, http.MethodPost, ts.URL+"/api/v1/jobs",
+		`{"benchmark":"tealeaf","cluster":"A","class":"tiny","ranks":100,"sim_steps":1}`, &sub)
+	if st := waitState(t, ts.URL+"/api/v1/jobs/"+sub.ID); st.State != "done" {
+		t.Fatalf("multi-node job finished as %s (%s)", st.State, st.Error)
+	}
+
+	var after statszResponse
+	doJSON(t, http.MethodGet, ts.URL+"/statsz", "", &after)
+	if after.Psim.Runs <= before.Psim.Runs {
+		t.Fatalf("psim runs did not advance: %+v -> %+v", before.Psim, after.Psim)
+	}
+	if after.Psim.AdaptiveRuns <= before.Psim.AdaptiveRuns {
+		t.Errorf("partitioned run was not adaptive: %+v", after.Psim)
+	}
+	if after.Psim.Windows <= before.Psim.Windows {
+		t.Errorf("no windows accounted: %+v", after.Psim)
+	}
+	if after.Psim.NarrowestWindow <= 0 {
+		t.Errorf("narrowest window %g not positive", after.Psim.NarrowestWindow)
+	}
+}
+
 // TestJobValidation rejects malformed submissions with 400s.
 func TestJobValidation(t *testing.T) {
 	_, ts, _ := newTestServer(t, nil)

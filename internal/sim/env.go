@@ -76,6 +76,23 @@ type Env struct {
 	// flowChunk bump-allocates Flow structs for this run's resources;
 	// the chunks are dropped at reset, so flows never alias across runs.
 	flowChunk []Flow
+
+	// oracle, when set, tightens EarliestOutput: a model-level promise
+	// about when this environment can next affect another one. Nil for
+	// serial runs and partitions without a registered oracle.
+	oracle OutputOracle
+}
+
+// OutputOracle is a conservative promise about an environment's next
+// externally visible action. EarliestOutputTime returns a lower bound
+// on the virtual time at which the environment can next produce output
+// for another partition (post cross-partition mail). The bound must be
+// sound under any future schedule: returning -Inf (no promise) is
+// always safe, returning +Inf promises the partition will never send
+// again. The parallel engine reads it only at window barriers, so the
+// implementation may consult state mutated freely inside windows.
+type OutputOracle interface {
+	EarliestOutputTime() float64
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -143,7 +160,13 @@ func (e *Env) reset() {
 	e.procs = e.procs[:0]
 	e.nowq, e.nowHead = e.nowq[:0], 0
 	e.flowChunk = nil
+	e.oracle = nil
 }
+
+// SetOutputOracle registers (or clears, with nil) the environment's
+// output oracle. The caller keeps ownership of the oracle; reset drops
+// the reference.
+func (e *Env) SetOutputOracle(o OutputOracle) { e.oracle = o }
 
 // BumpAlloc hands out one zeroed *T from the chunk, growing by whole
 // chunks of n, so allocation cost is paid once per n objects. Handed-out
@@ -632,6 +655,30 @@ func (e *Env) NextEventTime() (float64, bool) {
 		return 0, false
 	}
 	return e.slots[idx].time, true
+}
+
+// EarliestOutput returns a lower bound on the virtual time at which
+// this environment can next affect another partition. With no queued
+// events the environment is inert until mail arrives (+Inf); otherwise
+// the next event time is always a sound bound — nothing can happen
+// before it — and a registered oracle may tighten it further (a parked
+// compute phase cannot send before it ends, even though its completion
+// event is already queued). Never lower than NextEventTime, so a
+// confused oracle can only cost performance, not correctness. An
+// infinite promise is honored only when the queue really is empty: a
+// partition with queued events always reports a finite bound, so an
+// oracle bug can never make the engine skip over live work.
+func (e *Env) EarliestOutput() float64 {
+	nt, ok := e.NextEventTime()
+	if !ok {
+		return math.Inf(1)
+	}
+	if e.oracle != nil {
+		if b := e.oracle.EarliestOutputTime(); b > nt && !math.IsInf(b, 1) {
+			return b
+		}
+	}
+	return nt
 }
 
 // CheckDeadlock reports parked processes on a drained environment; the

@@ -19,9 +19,23 @@
 // byte-identical for ANY worker count, including one. The serial
 // engine's identity to the partitioned one is pinned by the determinism
 // goldens in internal/spec.
+//
+// In adaptive mode the engine widens windows beyond the static floor
+// using per-partition earliest-output-time promises (sim.Env's
+// EarliestOutput, fed by the MPI layer's oracle): each barrier advances
+// to min over partitions of EOT plus the latency floor. Because every
+// promise is a sound lower bound on the partition's next cross-node
+// send, all mail posted inside the wider window still carries
+// timestamps at or past the next barrier, and because windows only
+// partition virtual time — equal-timestamp mail always lands in the
+// same window under any window schedule — the canonical merge order,
+// and therefore the output bytes, are unchanged. A compute-heavy job
+// that would take ~10^5 latency-floor windows collapses to a few
+// hundred barriers.
 package psim
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -55,6 +69,7 @@ type Engine struct {
 	partStore []*partition
 	lookahead float64
 	workers   int
+	adaptive  bool
 
 	window float64 // current window end, set before dispatch
 	inbox  []mail  // per-destination merge scratch
@@ -62,6 +77,83 @@ type Engine struct {
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	err    error
+	stat   Stats
+}
+
+// Stats counts one run's window behavior; read it with Engine.Stats
+// after Run and before Release. The counters are what make the adaptive
+// win observable without a profiler: a compute-heavy job shows Windows
+// collapsing by orders of magnitude versus static mode while Mail stays
+// identical (the same simulation flows through fewer barriers).
+type Stats struct {
+	// Windows is the number of barrier-to-barrier windows executed.
+	Windows int64
+	// AdaptiveWindows counts windows the oracle widened beyond the
+	// static latency floor. Zero in static mode.
+	AdaptiveWindows int64
+	// Mail is the number of cross-partition events merged at barriers.
+	Mail int64
+	// IdleParts counts partition×window pairs where a partition had no
+	// event before the window end (it sat out the barrier).
+	IdleParts int64
+	// Widest and Narrowest are the extreme window spans (window end
+	// minus global minimum event time) in virtual seconds. Narrowest is
+	// never below the lookahead: windows only ever widen.
+	Widest    float64
+	Narrowest float64
+}
+
+// merge folds another run's stats into s (for process-wide totals).
+func (s *Stats) merge(o Stats) {
+	s.Windows += o.Windows
+	s.AdaptiveWindows += o.AdaptiveWindows
+	s.Mail += o.Mail
+	s.IdleParts += o.IdleParts
+	if o.Widest > s.Widest {
+		s.Widest = o.Widest
+	}
+	if s.Narrowest == 0 || (o.Narrowest > 0 && o.Narrowest < s.Narrowest) {
+		s.Narrowest = o.Narrowest
+	}
+}
+
+// Stats returns the counters of the engine's last (or in-progress) run.
+func (g *Engine) Stats() Stats { return g.stat }
+
+// Process-wide totals across every engine run, for /statsz and -v
+// style observability surfaces.
+var (
+	totalsMu sync.Mutex
+	totals   Totals
+)
+
+// Totals aggregates window statistics across all engine runs in this
+// process.
+type Totals struct {
+	// Runs counts completed Engine.Run calls; AdaptiveRuns those in
+	// adaptive mode.
+	Runs, AdaptiveRuns int64
+	Stats
+}
+
+// Snapshot returns the process-wide window statistics accumulated by
+// every engine run so far.
+func Snapshot() Totals {
+	totalsMu.Lock()
+	defer totalsMu.Unlock()
+	return totals
+}
+
+// flushTotals folds the finished run's counters into the process-wide
+// snapshot.
+func (g *Engine) flushTotals() {
+	totalsMu.Lock()
+	defer totalsMu.Unlock()
+	totals.Runs++
+	if g.adaptive {
+		totals.AdaptiveRuns++
+	}
+	totals.Stats.merge(g.stat)
 }
 
 // enginePool recycles Engine coordination state (partition structs,
@@ -72,8 +164,11 @@ var enginePool = sync.Pool{New: func() any { return &Engine{} }}
 // Acquire returns an engine for a job spanning nodes partitions,
 // executed by up to workers concurrent executors, with the given
 // conservative lookahead (netsim.Spec.LatencyFloor). Each partition
-// gets a reset environment from the sim pool.
-func Acquire(nodes, workers int, lookahead float64) *Engine {
+// gets a reset environment from the sim pool. With adaptive set, the
+// engine widens windows past the static floor using the partitions'
+// EarliestOutput bounds; callers that register no oracle get static
+// behavior either way, so adaptive is safe to request unconditionally.
+func Acquire(nodes, workers int, lookahead float64, adaptive bool) *Engine {
 	if nodes <= 0 {
 		panic("psim: engine with no partitions")
 	}
@@ -82,6 +177,8 @@ func Acquire(nodes, workers int, lookahead float64) *Engine {
 	}
 	g := enginePool.Get().(*Engine)
 	g.lookahead = lookahead
+	g.adaptive = adaptive
+	g.stat = Stats{}
 	g.workers = workers
 	if g.workers > nodes {
 		g.workers = nodes
@@ -140,10 +237,16 @@ func (g *Engine) Post(src, dst int, t float64, fn func(any), arg any) {
 
 // Run executes the window loop to completion: deliver pending mail,
 // find the global minimum next-event time T, execute every partition's
-// events in [T, T+lookahead) concurrently, repeat. It returns the first
-// process panic, or a deadlock error if parked processes remain after
-// all queues and mailboxes drain.
+// events in [T, w) concurrently, repeat. The window end w is the static
+// T+lookahead, or — in adaptive mode — the global earliest-output bound
+// plus the lookahead, whichever is later: every partition has promised
+// not to post cross-partition mail before the bound, and all mail
+// trails its cause by at least the lookahead, so nothing can land
+// inside the wider window. It returns the first process panic, or a
+// deadlock error if parked processes remain after all queues and
+// mailboxes drain.
 func (g *Engine) Run() error {
+	defer g.flushTotals()
 	if g.workers > 1 {
 		// Workers receive the channel by value: the engine field is
 		// cleared on return while late-starting workers still read from
@@ -163,7 +266,23 @@ func (g *Engine) Run() error {
 		if !ok {
 			break
 		}
-		g.runWindow(t + g.lookahead)
+		// span is recorded as exactly the lookahead for unwidened
+		// windows (t+lookahead-t can round one ulp below it), so the
+		// Narrowest counter honors "windows only widen" literally.
+		span := g.lookahead
+		w := t + g.lookahead
+		if g.adaptive {
+			// minEarliestOutput is finite here (the partition owning t
+			// reports at most a finite bound while events are queued)
+			// and never below t; the IsInf check is pure defense.
+			if eo := g.minEarliestOutput(); eo > t && !math.IsInf(eo, 1) {
+				w = eo + g.lookahead
+				span = w - t
+				g.stat.AdaptiveWindows++
+			}
+		}
+		g.noteWindow(span)
+		g.runWindow(w)
 		if g.err != nil {
 			return g.err
 		}
@@ -174,6 +293,31 @@ func (g *Engine) Run() error {
 		}
 	}
 	return nil
+}
+
+// minEarliestOutput returns the earliest time any partition may next
+// produce cross-partition output: the min over partitions of their
+// EarliestOutput bound. Partitions with no queued events are inert
+// until mail reaches them (+Inf) and do not gate the window.
+func (g *Engine) minEarliestOutput() float64 {
+	m := math.Inf(1)
+	for _, p := range g.parts {
+		if eo := p.env.EarliestOutput(); eo < m {
+			m = eo
+		}
+	}
+	return m
+}
+
+// noteWindow records one window's span in the run counters.
+func (g *Engine) noteWindow(span float64) {
+	g.stat.Windows++
+	if span > g.stat.Widest {
+		g.stat.Widest = span
+	}
+	if g.stat.Narrowest == 0 || span < g.stat.Narrowest {
+		g.stat.Narrowest = span
+	}
 }
 
 // deliver merges every outbox into its destination queue, ordered by
@@ -194,6 +338,7 @@ func (g *Engine) deliver() {
 		if len(box) == 0 {
 			continue
 		}
+		g.stat.Mail += int64(len(box))
 		sort.SliceStable(box, func(i, j int) bool {
 			if box[i].t != box[j].t {
 				return box[i].t < box[j].t
@@ -234,6 +379,7 @@ func (g *Engine) runWindow(w float64) {
 			solo = p
 		}
 	}
+	g.stat.IdleParts += int64(len(g.parts) - active)
 	if active == 0 {
 		return
 	}

@@ -47,6 +47,27 @@ type Flow struct {
 	ev        Event
 }
 
+// EarliestFinish returns a lower bound on the virtual time at which the
+// flow can complete: the remaining work served at the fastest rate the
+// resource could ever grant one flow (full capacity, capped by FlowCap).
+// Unlike the currently scheduled completion event — which water-filling
+// rescheduling can move EARLIER when competing flows finish — this bound
+// is sound under any future contention, so the adaptive-lookahead oracle
+// may promise it across window barriers. Completed flows return -Inf.
+func (f *Flow) EarliestFinish() float64 {
+	if f.completed {
+		return math.Inf(-1)
+	}
+	r := f.res
+	rate := r.Capacity
+	if r.FlowCap > 0 && r.FlowCap < rate {
+		rate = r.FlowCap
+	}
+	// remaining is accrued as of lastUpdate; work done since then only
+	// brings the true finish closer to (never below) this bound.
+	return r.lastUpdate + f.remaining/rate
+}
+
 // NewPSResource creates a processor-sharing resource. Capacity must be
 // positive; flowCap <= 0 means individual flows are limited only by the
 // total capacity.

@@ -14,7 +14,7 @@
 #   scripts/bench_compare.sh record  [out.bench]       # default bench/baseline.bench
 #   scripts/bench_compare.sh compare [baseline.bench]  # gate fresh samples against a baseline
 #   scripts/bench_compare.sh fig5    [out.bench]       # headline macro benchmark samples
-#   scripts/bench_compare.sh workers [out.bench]       # -sim-workers 1/2/4/8 scaling sweep + table
+#   scripts/bench_compare.sh workers [out.bench]       # worker + window-mode scaling sweep (lbm, pot3d, compute-heavy) + tables
 #   scripts/bench_compare.sh json    <in.bench> [out]  # benchfmt -> flat JSON means (stdout default)
 #
 # Environment:
@@ -77,35 +77,55 @@ fig5)
     echo "bench_compare: recorded $(count_benches "$OUT") headline macro samples to $OUT"
     ;;
 workers)
-    # Sweep the partitioned-engine worker ladder on one Fig.5-class
-    # multi-node job and print a scaling table (mean ns/op, speedup vs
-    # the serial engine). Results are byte-identical at every worker
-    # count, so the sweep isolates execution strategy. With
-    # BENCH_MIN_SPEEDUP set, additionally gate workers=8 vs serial via
-    # benchgate -assert (as the CI psim gate does).
+    # Sweep the partitioned-engine worker ladder on three multi-node
+    # jobs — communication-heavy lbm (Fig5), compute-bound pot3d, and
+    # the compute-heavy staggered-flow job the adaptive window targets —
+    # and print a scaling table per job (mean ns/op, speedup vs the
+    # serial engine). Results are byte-identical at every worker count
+    # and window mode, so the sweep isolates execution strategy. With
+    # BENCH_MIN_SPEEDUP set, additionally gate workers=8 vs serial on
+    # the two kernel jobs via benchgate -assert (as the CI psim gate
+    # does); with BENCH_MIN_ADAPTIVE set, gate adaptive workers=8 vs
+    # static windows at workers=8 on the compute-heavy job (the CI
+    # adaptive gate).
     OUT="${2:-bench/workers.bench}"
     mkdir -p "$(dirname "$OUT")"
-    run_benches "." '^BenchmarkFig5MultiNodeJob$' 1x "$COUNT" > "$OUT"
+    run_benches "." '^Benchmark(Fig5|Pot3d|ComputeHeavy)MultiNodeJob$' 1x "$COUNT" > "$OUT"
     echo "bench_compare: recorded $(count_benches "$OUT") worker-sweep samples to $OUT"
     awk '
-        /^BenchmarkFig5MultiNodeJob\// {
-            name = $1; sub(/-[0-9]+$/, "", name); sub(/^BenchmarkFig5MultiNodeJob\//, "", name)
+        /^Benchmark(Fig5|Pot3d|ComputeHeavy)MultiNodeJob\// {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            sub(/^Benchmark/, "", name); sub(/MultiNodeJob\//, "/", name)
+            split(name, p, "/"); job = p[1]; eng = p[2]
             sum[name] += $3; n[name]++
-            if (!(name in seen)) { seen[name] = 1; order[++k] = name }
+            if (!(job in jseen)) { jseen[job] = 1; jorder[++jk] = job }
+            if (!(eng in eseen)) { eseen[eng] = 1; eorder[++ek] = eng }
         }
         END {
-            if (!("serial" in sum)) { print "bench_compare: no serial samples"; exit 1 }
-            base = sum["serial"] / n["serial"]
-            printf "%-12s %14s %10s\n", "engine", "mean ns/op", "speedup"
-            for (i = 1; i <= k; i++) {
-                name = order[i]; mean = sum[name] / n[name]
-                printf "%-12s %14.0f %9.2fx\n", name, mean, base / mean
+            for (j = 1; j <= jk; j++) {
+                job = jorder[j]
+                if (!((job "/serial") in sum)) { printf "bench_compare: no serial samples for %s\n", job; exit 1 }
+                base = sum[job "/serial"] / n[job "/serial"]
+                printf "%s\n%-18s %14s %10s\n", job, "engine", "mean ns/op", "speedup"
+                for (e = 1; e <= ek; e++) {
+                    name = job "/" eorder[e]
+                    if (!(name in sum)) continue
+                    mean = sum[name] / n[name]
+                    printf "%-18s %14.0f %9.2fx\n", eorder[e], mean, base / mean
+                }
             }
         }' "$OUT"
     if [ -n "${BENCH_MIN_SPEEDUP:-}" ]; then
+        for JOB in Fig5 Pot3d; do
+            go run ./cmd/benchgate -assert "$OUT" \
+                -faster "${JOB}MultiNodeJob/workers=8" -slower "${JOB}MultiNodeJob/serial" \
+                -min-speedup "$BENCH_MIN_SPEEDUP" -alpha "$ALPHA" -min-count "$MIN_COUNT"
+        done
+    fi
+    if [ -n "${BENCH_MIN_ADAPTIVE:-}" ]; then
         go run ./cmd/benchgate -assert "$OUT" \
-            -faster 'Fig5MultiNodeJob/workers=8' -slower 'Fig5MultiNodeJob/serial' \
-            -min-speedup "$BENCH_MIN_SPEEDUP" -alpha "$ALPHA" -min-count "$MIN_COUNT"
+            -faster 'ComputeHeavyMultiNodeJob/workers=8' -slower 'ComputeHeavyMultiNodeJob/static-workers=8' \
+            -min-speedup "$BENCH_MIN_ADAPTIVE" -alpha "$ALPHA" -min-count "$MIN_COUNT"
     fi
     ;;
 json)
